@@ -1,0 +1,49 @@
+//! Criterion bench for the core JITBULL operations: Δ extraction from a
+//! trace and comparison against databases of increasing size — the raw
+//! costs behind the paper's overhead figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jitbull::{CompareConfig, Guard};
+use jitbull_bench::figures::db_with;
+use jitbull_frontend::parse_program;
+use jitbull_jit::pipeline::{optimize, OptimizeOptions, N_SLOTS};
+use jitbull_jit::VulnConfig;
+use jitbull_mir::build_mir;
+use jitbull_vm::compile_program;
+
+fn representative_trace() -> jitbull_mir::PassTrace {
+    let w = jitbull_workloads::workload("Crypto").expect("workload");
+    let p = parse_program(&w.source).unwrap();
+    let m = compile_program(&p).unwrap();
+    let fid = m.function_id("stream").unwrap();
+    let mir = build_mir(&m, fid).unwrap();
+    optimize(
+        mir,
+        &VulnConfig::none(),
+        &OptimizeOptions {
+            trace: true,
+            ..Default::default()
+        },
+    )
+    .trace
+}
+
+fn bench_dna(c: &mut Criterion) {
+    let trace = representative_trace();
+    c.bench_function("dna_extract_stream_fn", |b| {
+        b.iter(|| Guard::extract(&trace, N_SLOTS))
+    });
+    let mut group = c.benchmark_group("dna_analyze_by_db_size");
+    group.sample_size(20);
+    for n in [1usize, 4, 8] {
+        let (db, _) = db_with(n);
+        let guard = Guard::new(db, CompareConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| guard.analyze(&trace, N_SLOTS))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dna);
+criterion_main!(benches);

@@ -1,0 +1,187 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * **A1 — comparator thresholds.** The paper fixes `Thr = 3`,
+//!   `Ratio = 50 %` "to optimize for a high detection rate". The sweep
+//!   shows the trade-off: lower thresholds keep detection at 100 % but
+//!   inflate false positives; higher ones lose variants.
+//! * **A2 — go/no-go granularity.** The paper's headline design choice is
+//!   disabling *passes*, not the whole JIT, on a match. Forcing the
+//!   whole-JIT policy quantifies what that fine granularity buys.
+
+use jitbull::{CompareConfig, Guard};
+use jitbull_jit::engine::{Engine, EngineConfig};
+use jitbull_jit::{CveId, VulnConfig};
+use jitbull_vdc::validate::run_script;
+use jitbull_vdc::{build_database, generate, vdc, VariantKind};
+use jitbull_workloads::{run_workload, workload};
+
+/// One point of the Thr/Ratio sweep.
+#[derive(Debug)]
+pub struct AblationPoint {
+    /// Sub-chain count threshold.
+    pub thr: usize,
+    /// Ratio threshold.
+    pub ratio: f64,
+    /// Detected variants out of [`Self::total`].
+    pub detected: usize,
+    /// Total variant cases (4 CVEs × 4 variants).
+    pub total: usize,
+    /// Mean `%PassDis` over the sampled workloads with the 4-VDC
+    /// database (false positives).
+    pub mean_fp_pct: f64,
+}
+
+/// Workloads sampled for the FP half of the sweep (keeps the sweep fast;
+/// they span low and high `Nr_JIT`).
+const FP_SAMPLE: [&str; 4] = ["Crypto", "Splay", "NavierStokes", "Microbench2"];
+
+/// Runs the comparator-threshold sweep.
+pub fn threshold_sweep(thrs: &[usize], ratios: &[f64]) -> Vec<AblationPoint> {
+    let mut out = Vec::new();
+    for &thr in thrs {
+        for &ratio in ratios {
+            let config = CompareConfig { thr, ratio };
+            // Detection half.
+            let mut detected = 0;
+            let mut total = 0;
+            for cve in CveId::security_set() {
+                let base = vdc(cve);
+                let db = build_database(std::slice::from_ref(&base)).expect("db");
+                for kind in VariantKind::all() {
+                    total += 1;
+                    let variant = generate(&base, kind);
+                    let mut engine = Engine::with_guard(
+                        EngineConfig {
+                            vulns: VulnConfig::with([cve]),
+                            ..Default::default()
+                        },
+                        Guard::new(db.clone(), config),
+                    );
+                    let outcome = run_script(&variant.source, &mut engine).expect("run");
+                    if !outcome.is_compromised() && engine.nr_disjit() + engine.nr_nojit() > 0 {
+                        detected += 1;
+                    }
+                }
+            }
+            // False-positive half.
+            let (db4, vulns4) = crate::figures::db_with(4);
+            let mut fp_sum = 0.0;
+            for name in FP_SAMPLE {
+                let w = workload(name).expect("sample workload exists");
+                let mut engine = Engine::with_guard(
+                    EngineConfig {
+                        vulns: vulns4.clone(),
+                        ..Default::default()
+                    },
+                    Guard::new(db4.clone(), config),
+                );
+                let outcome = engine.run_source_with(&w.source).expect("workload runs");
+                let nr_jit = outcome.nr_jit.max(1);
+                fp_sum += (outcome.nr_disjit + outcome.nr_nojit) as f64 * 100.0 / nr_jit as f64;
+            }
+            out.push(AblationPoint {
+                thr,
+                ratio,
+                detected,
+                total,
+                mean_fp_pct: fp_sum / FP_SAMPLE.len() as f64,
+            });
+        }
+    }
+    out
+}
+
+/// Renders the sweep.
+pub fn render_sweep(points: &[AblationPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.thr.to_string(),
+                format!("{:.0}%", p.ratio * 100.0),
+                format!("{}/{}", p.detected, p.total),
+                format!("{:.1}%", p.mean_fp_pct),
+            ]
+        })
+        .collect();
+    crate::render_table(&["Thr", "Ratio", "detected", "mean %PassDis (FP)"], &rows)
+}
+
+/// One row of the policy-granularity ablation.
+#[derive(Debug)]
+pub struct PolicyRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Plain-JIT cycles.
+    pub jit: u64,
+    /// Cycles with the paper's per-pass policy (4 VDCs).
+    pub per_pass: u64,
+    /// Cycles with the coarse whole-JIT-per-function policy.
+    pub whole_jit: u64,
+}
+
+/// Runs the policy ablation on the sampled workloads.
+pub fn policy_ablation() -> Vec<PolicyRow> {
+    let (db4, vulns4) = crate::figures::db_with(4);
+    FP_SAMPLE
+        .iter()
+        .map(|name| {
+            let w = workload(name).expect("sample workload exists");
+            let jit = run_workload(&w, EngineConfig::default(), None)
+                .expect("plain")
+                .cycles;
+            let per_pass = run_workload(
+                &w,
+                EngineConfig {
+                    vulns: vulns4.clone(),
+                    ..Default::default()
+                },
+                Some(db4.clone()),
+            )
+            .expect("per-pass")
+            .cycles;
+            let whole_jit = run_workload(
+                &w,
+                EngineConfig {
+                    vulns: vulns4.clone(),
+                    whole_jit_policy: true,
+                    ..Default::default()
+                },
+                Some(db4.clone()),
+            )
+            .expect("whole-jit")
+            .cycles;
+            PolicyRow {
+                name: w.name,
+                jit,
+                per_pass,
+                whole_jit,
+            }
+        })
+        .collect()
+}
+
+/// Renders the policy ablation.
+pub fn render_policy(rows: &[PolicyRow]) -> String {
+    let t: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let pct = |c: u64| (c as f64 - r.jit as f64) * 100.0 / r.jit as f64;
+            vec![
+                r.name.to_string(),
+                r.jit.to_string(),
+                format!("{:+.1}%", pct(r.per_pass)),
+                format!("{:+.1}%", pct(r.whole_jit)),
+            ]
+        })
+        .collect();
+    crate::render_table(
+        &[
+            "benchmark",
+            "JIT cycles",
+            "per-pass policy",
+            "whole-JIT policy",
+        ],
+        &t,
+    )
+}

@@ -1,0 +1,78 @@
+//! Developer tool: dump the per-slot JIT DNA of named functions in a
+//! workload or VDC (helps when tuning triggers or diagnosing matches).
+
+use jitbull::Guard;
+use jitbull_frontend::parse_program;
+use jitbull_jit::pipeline::{optimize, OptimizeOptions, N_SLOTS};
+use jitbull_jit::VulnConfig;
+use jitbull_mir::build_mir;
+use jitbull_vm::compile_program;
+
+fn dump(src: &str, which: &str, vulns: &VulnConfig) {
+    let p = parse_program(src).unwrap();
+    let m = compile_program(&p).unwrap();
+    for (i, f) in m.functions.iter().enumerate() {
+        if f.name == "<main>" {
+            continue;
+        }
+        if !which.is_empty() && f.name != which {
+            continue;
+        }
+        let mir = build_mir(&m, jitbull_vm::bytecode::FuncId(i as u32)).unwrap();
+        let r = optimize(
+            mir,
+            vulns,
+            &OptimizeOptions {
+                trace: true,
+                ..Default::default()
+            },
+        );
+        let dna = Guard::extract(&r.trace, N_SLOTS);
+        println!("--- fn {}", f.name);
+        for (s, d) in dna.deltas.iter().enumerate() {
+            if !d.is_empty() {
+                println!("  slot {s}: -{} +{}", d.removed.len(), d.added.len());
+                for c in d.removed.iter().take(6) {
+                    println!(
+                        "    - {}",
+                        c.iter()
+                            .map(|x| x.to_string())
+                            .collect::<Vec<_>>()
+                            .join(">")
+                    );
+                }
+                for c in d.added.iter().take(6) {
+                    println!(
+                        "    + {}",
+                        c.iter()
+                            .map(|x| x.to_string())
+                            .collect::<Vec<_>>()
+                            .join(">")
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let v4 = VulnConfig::with([jitbull_jit::CveId::Cve2019_17026]);
+    println!("===== Crypto stream (benign, vulnerable engine) =====");
+    dump(
+        &jitbull_workloads::workload("Crypto").unwrap().source,
+        "stream",
+        &v4,
+    );
+    println!("===== Splay insert =====");
+    dump(
+        &jitbull_workloads::workload("Splay").unwrap().source,
+        "insert",
+        &v4,
+    );
+    println!("===== 17026 VDC trigger =====");
+    dump(
+        &jitbull_vdc::vdc(jitbull_jit::CveId::Cve2019_17026).source,
+        "shrink_smash",
+        &v4,
+    );
+}

@@ -1,0 +1,153 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p jitbull-bench --release --bin repro -- all
+//! cargo run -p jitbull-bench --release --bin repro -- table1
+//! cargo run -p jitbull-bench --release --bin repro -- fig5
+//! ```
+
+use jitbull_bench::{ablation, figures, registry, render_table, security};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    match what {
+        "table1" => table1(),
+        "window" => window(),
+        "security" => security(),
+        "fig4" => fig4(),
+        "fig5" => fig5(),
+        "fig6" => fig6(),
+        "ablation" => ablation(),
+        "ablation-policy" => ablation_policy(),
+        "fuzz" => fuzz(),
+        "all" => {
+            table1();
+            window();
+            security();
+            fig4();
+            fig5();
+            fig6();
+            ablation();
+            ablation_policy();
+            fuzz();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!("usage: repro [table1|window|security|fig4|fig5|fig6|ablation|ablation-policy|fuzz|all]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn table1() {
+    heading("Table I — JIT-engine vulnerability survey (VDC available = bolded in paper)");
+    let rows: Vec<Vec<String>> = registry::table1()
+        .iter()
+        .map(|r| {
+            vec![
+                r.target.name().to_string(),
+                r.id.to_string(),
+                if r.has_vdc { "yes" } else { "-" }.to_string(),
+                format!("{:.1}", r.cvss),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["target", "cve", "vdc", "cvss"], &rows));
+}
+
+fn window() {
+    heading("§III-C — vulnerability-window statistics (IonMonkey)");
+    let s = registry::window_stats();
+    println!("average window     : {:.1} days", s.average_days);
+    println!(
+        "longest window     : {} ({} days)",
+        s.longest.0, s.longest.1
+    );
+    println!(
+        "shortest window    : {} ({} days)",
+        s.shortest.0, s.shortest.1
+    );
+    println!(
+        "max concurrent 2019: {} ({})",
+        s.max_concurrent_2019.0,
+        s.max_concurrent_2019.1.join(", ")
+    );
+    println!("average CVSS       : {:.1}", s.average_cvss);
+}
+
+fn security() {
+    heading("§VI-B — security evaluation (4 CVEs x PoC + 4 variants, + 17026 impl2)");
+    let rows = security::security_eval();
+    print!("{}", security::render(&rows));
+}
+
+fn fig4() {
+    heading("Figure 4 — false-positive rates on harmless benchmarks (#1 vs #4 VDCs)");
+    let rows = figures::fig4();
+    print!("{}", figures::render_fig4(&rows));
+}
+
+fn fig5() {
+    heading("Figure 5 — execution cycles: JIT / NoJIT / JITBULL #0 #1 #4");
+    let rows = figures::fig5();
+    print!("{}", figures::render_fig5(&rows));
+}
+
+fn fig6() {
+    heading("Figure 6 — scalability with 1..8 VDCs in the database (overhead vs JIT)");
+    let rows = figures::fig6(&jitbull_workloads::octane_analogues());
+    print!("{}", figures::render_fig6(&rows));
+}
+
+fn ablation() {
+    heading("Ablation A1 — comparator thresholds (paper: Thr=3, Ratio=50%)");
+    let points = ablation::threshold_sweep(&[1, 2, 3, 4, 5, 6, 8], &[0.25, 0.5, 0.75]);
+    print!("{}", ablation::render_sweep(&points));
+}
+
+fn fuzz() {
+    heading("Extension E1 — fuzzer-to-database loop (paper §IV-A threat model)");
+    use jitbull::DnaDatabase;
+    use jitbull_fuzzer::{install_until_neutralized, minimize, run_campaign};
+    use jitbull_jit::VulnConfig;
+    let vulns = VulnConfig::all();
+    let report = run_campaign(0, 512, &vulns).expect("campaign runs");
+    println!(
+        "seeds run        : {} ({} finds, {} benign script errors)",
+        report.executed,
+        report.finds.len(),
+        report.script_errors
+    );
+    let mut db = DnaDatabase::new();
+    let mut neutralized = 0;
+    let mut shrink_num = 0usize;
+    let mut shrink_den = 0usize;
+    for find in &report.finds {
+        let min = minimize(find, &vulns);
+        shrink_num += min.source.len();
+        shrink_den += find.source.len();
+        if install_until_neutralized(&mut db, &min, &vulns, 6).expect("triage") {
+            neutralized += 1;
+        }
+    }
+    println!(
+        "triage loop      : {neutralized} / {} finds neutralized",
+        report.finds.len()
+    );
+    println!(
+        "minimization     : finds shrink to {:.0}% of original size on average",
+        shrink_num as f64 * 100.0 / shrink_den.max(1) as f64
+    );
+    println!("database built   : {db}");
+}
+
+fn ablation_policy() {
+    heading("Ablation A2 — per-pass policy vs whole-JIT-per-function policy (4 VDCs)");
+    let rows = ablation::policy_ablation();
+    print!("{}", ablation::render_policy(&rows));
+}

@@ -1,0 +1,362 @@
+//! The vulnerability survey behind Table I and the §III-C
+//! vulnerability-window statistics.
+//!
+//! CVE identifiers, target engines, and VDC availability follow the
+//! paper's Table I. CVSS scores and report/patch dates are
+//! *reconstructions*: the paper publishes only aggregates (average CVSS
+//! 8.8; average window 9 days; CVE-2019-11707 reported 2019-04-15 and
+//! patched 2019-05-08; CVE-2020-26952 reported 2020-09-27 and patched
+//! 2020-10-02; at most CVE-2019-9810 and CVE-2019-9813 overlapped during
+//! 2019). The per-CVE values here are chosen to satisfy exactly those
+//! published constraints; see DESIGN.md.
+
+/// The JIT engine a vulnerability targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// V8's TurboFan.
+    TurboFan,
+    /// SpiderMonkey's IonMonkey.
+    IonMonkey,
+    /// Chakra's (nameless) JIT.
+    ChakraJit,
+}
+
+impl Target {
+    /// Display name as used in the paper's table.
+    pub fn name(self) -> &'static str {
+        match self {
+            Target::TurboFan => "TurboFan",
+            Target::IonMonkey => "IonMonkey",
+            Target::ChakraJit => "Chakra JIT",
+        }
+    }
+}
+
+/// A calendar date (proleptic Gregorian).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Date {
+    /// Year.
+    pub y: i32,
+    /// Month 1–12.
+    pub m: u32,
+    /// Day 1–31.
+    pub d: u32,
+}
+
+impl Date {
+    /// Creates a date.
+    pub const fn new(y: i32, m: u32, d: u32) -> Date {
+        Date { y, m, d }
+    }
+
+    /// Days since the civil epoch (Howard Hinnant's `days_from_civil`).
+    pub fn to_days(self) -> i64 {
+        let y = if self.m <= 2 { self.y - 1 } else { self.y } as i64;
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = (self.m as i64 + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + self.d as i64 - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+}
+
+/// One surveyed vulnerability.
+#[derive(Debug, Clone)]
+pub struct CveRecord {
+    /// CVE identifier.
+    pub id: &'static str,
+    /// Targeted JIT engine.
+    pub target: Target,
+    /// Whether a public demonstrator code / white paper exists (bolded in
+    /// the paper's Table I).
+    pub has_vdc: bool,
+    /// CVSS v3 score (reconstructed; see module docs).
+    pub cvss: f64,
+    /// Report and patch dates, when the paper's window analysis covers
+    /// the CVE (IonMonkey entries).
+    pub window: Option<(Date, Date)>,
+}
+
+impl CveRecord {
+    /// Vulnerability-window length in days.
+    pub fn window_days(&self) -> Option<i64> {
+        self.window.map(|(r, p)| p.to_days() - r.to_days())
+    }
+}
+
+/// The full Table I survey.
+pub fn table1() -> Vec<CveRecord> {
+    use Target::*;
+    let d = Date::new;
+    let rec = |id, target, has_vdc, cvss, window| CveRecord {
+        id,
+        target,
+        has_vdc,
+        cvss,
+        window,
+    };
+    vec![
+        // --- TurboFan (V8) ---
+        rec("CVE-2021-30632", TurboFan, true, 8.8, None),
+        rec("CVE-2021-30551", TurboFan, false, 8.8, None),
+        rec("CVE-2020-16009", TurboFan, true, 8.8, None),
+        rec("CVE-2020-6418", TurboFan, true, 8.8, None),
+        rec("CVE-2019-2208", TurboFan, false, 8.8, None),
+        rec("CVE-2018-17463", TurboFan, true, 8.8, None),
+        rec("CVE-2017-5121", TurboFan, false, 8.8, None),
+        // --- IonMonkey (SpiderMonkey) ---
+        rec(
+            "CVE-2021-29982",
+            IonMonkey,
+            false,
+            8.8,
+            Some((d(2021, 7, 1), d(2021, 7, 8))),
+        ),
+        rec(
+            "CVE-2020-26952",
+            IonMonkey,
+            true,
+            8.8,
+            Some((d(2020, 9, 27), d(2020, 10, 2))),
+        ),
+        rec(
+            "CVE-2020-15656",
+            IonMonkey,
+            false,
+            8.8,
+            Some((d(2020, 7, 10), d(2020, 7, 16))),
+        ),
+        rec(
+            "CVE-2019-17026",
+            IonMonkey,
+            true,
+            8.8,
+            Some((d(2020, 1, 3), d(2020, 1, 8))),
+        ),
+        rec(
+            "CVE-2019-11707",
+            IonMonkey,
+            true,
+            8.8,
+            Some((d(2019, 4, 15), d(2019, 5, 8))),
+        ),
+        rec(
+            "CVE-2019-9813",
+            IonMonkey,
+            true,
+            8.8,
+            Some((d(2019, 3, 15), d(2019, 3, 21))),
+        ),
+        rec(
+            "CVE-2019-9810",
+            IonMonkey,
+            true,
+            8.8,
+            Some((d(2019, 3, 10), d(2019, 3, 18))),
+        ),
+        rec(
+            "CVE-2019-9795",
+            IonMonkey,
+            true,
+            8.8,
+            Some((d(2019, 3, 1), d(2019, 3, 5))),
+        ),
+        rec(
+            "CVE-2019-9792",
+            IonMonkey,
+            true,
+            8.8,
+            Some((d(2019, 2, 20), d(2019, 2, 27))),
+        ),
+        rec(
+            "CVE-2019-9791",
+            IonMonkey,
+            true,
+            8.8,
+            Some((d(2019, 2, 1), d(2019, 2, 7))),
+        ),
+        rec(
+            "CVE-2018-12387",
+            IonMonkey,
+            false,
+            8.8,
+            Some((d(2018, 9, 10), d(2018, 10, 1))),
+        ),
+        rec(
+            "CVE-2017-5400",
+            IonMonkey,
+            false,
+            8.8,
+            Some((d(2017, 2, 20), d(2017, 3, 1))),
+        ),
+        rec(
+            "CVE-2017-5375",
+            IonMonkey,
+            false,
+            8.8,
+            Some((d(2017, 1, 5), d(2017, 1, 15))),
+        ),
+        rec(
+            "CVE-2015-4484",
+            IonMonkey,
+            false,
+            8.8,
+            Some((d(2015, 10, 20), d(2015, 10, 31))),
+        ),
+        rec(
+            "CVE-2015-0817",
+            IonMonkey,
+            false,
+            8.8,
+            Some((d(2015, 3, 10), d(2015, 3, 17))),
+        ),
+        // --- Chakra ---
+        rec("CVE-2021-34480", ChakraJit, false, 8.8, None),
+        rec("CVE-2020-1380", ChakraJit, true, 8.8, None),
+    ]
+}
+
+/// §III-C aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Average window length in days across the IonMonkey entries.
+    pub average_days: f64,
+    /// Longest window: (cve, days).
+    pub longest: (String, i64),
+    /// Shortest window: (cve, days).
+    pub shortest: (String, i64),
+    /// Maximum number of simultaneously open 2019 windows, and the CVEs
+    /// involved.
+    pub max_concurrent_2019: (usize, Vec<String>),
+    /// Average CVSS over the whole survey.
+    pub average_cvss: f64,
+}
+
+/// Computes the §III-C statistics from the survey.
+pub fn window_stats() -> WindowStats {
+    let records = table1();
+    let windows: Vec<(&str, i64)> = records
+        .iter()
+        .filter_map(|r| r.window_days().map(|d| (r.id, d)))
+        .collect();
+    let average_days = windows.iter().map(|(_, d)| *d as f64).sum::<f64>() / windows.len() as f64;
+    let longest = windows
+        .iter()
+        .max_by_key(|(_, d)| *d)
+        .map(|(id, d)| (id.to_string(), *d))
+        .expect("windows exist");
+    let shortest = windows
+        .iter()
+        .min_by_key(|(_, d)| *d)
+        .map(|(id, d)| (id.to_string(), *d))
+        .expect("windows exist");
+    // Sweep 2019 windows for maximum concurrency.
+    let in_2019: Vec<&CveRecord> = records
+        .iter()
+        .filter(|r| matches!(r.window, Some((r0, _)) if r0.y == 2019))
+        .collect();
+    let mut best = (0usize, Vec::new());
+    for r in &in_2019 {
+        let (start, _) = r.window.expect("filtered");
+        let open: Vec<String> = in_2019
+            .iter()
+            .filter(|o| {
+                let (s, p) = o.window.expect("filtered");
+                s <= start && start < p
+            })
+            .map(|o| o.id.to_string())
+            .collect();
+        if open.len() > best.0 {
+            best = (open.len(), open);
+        }
+    }
+    let average_cvss = records.iter().map(|r| r.cvss).sum::<f64>() / records.len() as f64;
+    WindowStats {
+        average_days,
+        longest,
+        shortest,
+        max_concurrent_2019: best,
+        average_cvss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_matches_paper_structure() {
+        let t = table1();
+        assert_eq!(t.iter().filter(|r| r.target == Target::TurboFan).count(), 7);
+        assert_eq!(
+            t.iter().filter(|r| r.target == Target::IonMonkey).count(),
+            15
+        );
+        assert_eq!(
+            t.iter().filter(|r| r.target == Target::ChakraJit).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn modeled_cves_all_have_vdcs() {
+        let t = table1();
+        for id in [
+            "CVE-2019-9791",
+            "CVE-2019-9810",
+            "CVE-2019-11707",
+            "CVE-2019-17026",
+            "CVE-2019-9792",
+            "CVE-2019-9795",
+            "CVE-2019-9813",
+            "CVE-2020-26952",
+        ] {
+            let r = t.iter().find(|r| r.id == id).unwrap();
+            assert!(r.has_vdc, "{id} must be bolded");
+            assert_eq!(r.target, Target::IonMonkey);
+        }
+    }
+
+    #[test]
+    fn stats_match_papers_published_aggregates() {
+        let s = window_stats();
+        assert!(
+            (s.average_days - 9.0).abs() < 0.05,
+            "average window {} != 9 days",
+            s.average_days
+        );
+        assert_eq!(s.longest, ("CVE-2019-11707".to_string(), 23));
+        assert_eq!(s.shortest.1, 4);
+        // The paper: CVE-2020-26952 was a 5-day window.
+        let t = table1();
+        let r = t.iter().find(|r| r.id == "CVE-2020-26952").unwrap();
+        assert_eq!(r.window_days(), Some(5));
+        // At most two overlapping 2019 windows: 9810 and 9813.
+        assert_eq!(s.max_concurrent_2019.0, 2);
+        assert!(s
+            .max_concurrent_2019
+            .1
+            .contains(&"CVE-2019-9810".to_string()));
+        assert!(s
+            .max_concurrent_2019
+            .1
+            .contains(&"CVE-2019-9813".to_string()));
+        assert!((s.average_cvss - 8.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let a = Date::new(2019, 4, 15);
+        let b = Date::new(2019, 5, 8);
+        assert_eq!(b.to_days() - a.to_days(), 23);
+        let c = Date::new(2020, 1, 3);
+        let d = Date::new(2020, 1, 8);
+        assert_eq!(d.to_days() - c.to_days(), 5);
+        // Leap-year boundary.
+        assert_eq!(
+            Date::new(2020, 3, 1).to_days() - Date::new(2020, 2, 28).to_days(),
+            2
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! The Δ comparator (paper §IV-E, Algorithm 2).
+
+use std::collections::BTreeSet;
+
+use crate::dna::{Chain, Dna, PassDelta};
+
+/// Comparator thresholds. The paper chose `Thr = 3` common sub-chains and
+/// `Ratio = 50 %` "to optimize for a high detection rate, thanks to our
+/// low overhead in case of a false positive detection".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// Minimum number of common sub-chains (`Thr`).
+    pub thr: usize,
+    /// Minimum fraction of the maximum possible common sub-chains
+    /// (`Ratio`).
+    pub ratio: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        CompareConfig { thr: 3, ratio: 0.5 }
+    }
+}
+
+/// `COMPARECHAINS` from Algorithm 2: are two sub-chain sets similar?
+///
+/// `EqChains = |δ^f ∩ δ^{f'}|` must reach both the absolute threshold and
+/// `Ratio × min(|δ^f|, |δ^{f'}|)`.
+pub fn compare_chains(a: &BTreeSet<Chain>, b: &BTreeSet<Chain>, config: &CompareConfig) -> bool {
+    let max_eq = a.len().min(b.len());
+    if max_eq == 0 {
+        return false;
+    }
+    let eq = a.intersection(b).count();
+    eq >= config.thr && (eq as f64) >= config.ratio * (max_eq as f64)
+}
+
+/// Whether pass deltas `Δ_i^f` and `Δ_i^{f'}` are similar: either the
+/// removed or the added sub-chain sets match.
+pub fn deltas_similar(a: &PassDelta, b: &PassDelta, config: &CompareConfig) -> bool {
+    compare_chains(&a.removed, &b.removed, config) || compare_chains(&a.added, &b.added, config)
+}
+
+/// Compares a function's DNA against one VDC DNA, returning the pipeline
+/// slots whose deltas are similar (the `DisPass` contribution of this VDC).
+pub fn dangerous_passes(f: &Dna, vdc: &Dna, config: &CompareConfig) -> Vec<usize> {
+    let n = f.len().min(vdc.len());
+    (0..n)
+        .filter(|&i| deltas_similar(&f.deltas[i], &vdc.deltas[i], config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna::chain;
+
+    fn set(chains: &[&[&str]]) -> BTreeSet<Chain> {
+        chains.iter().map(|c| chain(c)).collect()
+    }
+
+    #[test]
+    fn requires_absolute_threshold() {
+        let cfg = CompareConfig::default();
+        let a = set(&[&["a", "b"], &["c", "d"]]);
+        let b = a.clone();
+        // Only 2 common chains < Thr=3 even though ratio is 100 %.
+        assert!(!compare_chains(&a, &b, &cfg));
+    }
+
+    #[test]
+    fn requires_ratio() {
+        let cfg = CompareConfig::default();
+        // 3 common chains but the smaller set has 8 chains → ratio 37.5 %.
+        let common: Vec<Vec<&str>> = vec![vec!["a", "b"], vec!["c", "d"], vec!["e", "f"]];
+        let mut a: BTreeSet<Chain> = common.iter().map(|c| chain(c)).collect();
+        let mut b = a.clone();
+        for i in 0..5 {
+            a.insert(chain(&["x", Box::leak(format!("a{i}").into_boxed_str())]));
+            b.insert(chain(&["y", Box::leak(format!("b{i}").into_boxed_str())]));
+        }
+        assert_eq!(a.len(), 8);
+        assert!(!compare_chains(&a, &b, &cfg));
+        // With ratio satisfied (3 of min(3+2)=5 → 60 %), it matches.
+        let a2: BTreeSet<Chain> = common.iter().map(|c| chain(c)).collect();
+        let mut b2 = a2.clone();
+        b2.insert(chain(&["y", "z"]));
+        b2.insert(chain(&["y", "w"]));
+        assert!(compare_chains(&a2, &b2, &cfg));
+    }
+
+    #[test]
+    fn empty_sets_never_match() {
+        let cfg = CompareConfig::default();
+        let empty = BTreeSet::new();
+        assert!(!compare_chains(&empty, &empty, &cfg));
+        let a = set(&[&["a", "b"]]);
+        assert!(!compare_chains(&a, &empty, &cfg));
+    }
+
+    #[test]
+    fn delta_similarity_on_either_side() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut a = PassDelta::default();
+        let mut b = PassDelta::default();
+        a.added = set(&[&["p", "q"]]);
+        b.added = set(&[&["p", "q"]]);
+        assert!(deltas_similar(&a, &b, &cfg));
+        // Or on the removed side.
+        let mut c = PassDelta::default();
+        let mut d = PassDelta::default();
+        c.removed = set(&[&["r", "s"]]);
+        d.removed = set(&[&["r", "s"]]);
+        assert!(deltas_similar(&c, &d, &cfg));
+        assert!(!deltas_similar(&a, &c, &cfg));
+    }
+
+    #[test]
+    fn dangerous_passes_reports_slots() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut f = Dna::with_slots(4);
+        let mut v = Dna::with_slots(4);
+        f.deltas[2].removed = set(&[&["boundscheck", "initializedlength"]]);
+        v.deltas[2].removed = set(&[&["boundscheck", "initializedlength"]]);
+        f.deltas[3].added = set(&[&["m", "n"]]);
+        v.deltas[3].added = set(&[&["x", "y"]]);
+        assert_eq!(dangerous_passes(&f, &v, &cfg), vec![2]);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let cfg = CompareConfig::default();
+        assert_eq!(cfg.thr, 3);
+        assert!((cfg.ratio - 0.5).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,245 @@
+//! The VDC DNA database.
+//!
+//! Entries are installed when a vulnerability is disclosed (one entry per
+//! JITed function of the demonstrator code) and removed when the security
+//! patch lands — the database therefore holds only the vulnerabilities in
+//! their *vulnerability window*, typically one or two at a time (§VI-D).
+
+use std::fmt;
+
+use crate::dna::Dna;
+
+/// One demonstrator-code function's DNA, tagged by vulnerability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VdcEntry {
+    /// Vulnerability identifier (e.g. `CVE-2019-17026`).
+    pub cve: String,
+    /// Which JITed function of the demonstrator this DNA came from.
+    pub function: String,
+    /// The extracted DNA vector.
+    pub dna: Dna,
+}
+
+/// The in-memory DNA database, preloaded at runtime startup (§V).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DnaDatabase {
+    entries: Vec<VdcEntry>,
+}
+
+impl DnaDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        DnaDatabase::default()
+    }
+
+    /// Installs one VDC function's DNA. Trivial DNA (a compilation whose
+    /// passes changed nothing) is skipped — it would match everything and
+    /// carries no signal.
+    pub fn install(&mut self, cve: impl Into<String>, function: impl Into<String>, dna: Dna) {
+        if dna.is_trivial() {
+            return;
+        }
+        self.entries.push(VdcEntry {
+            cve: cve.into(),
+            function: function.into(),
+            dna,
+        });
+    }
+
+    /// Removes every entry belonging to a vulnerability (models applying
+    /// its patch). Returns how many entries were removed.
+    pub fn remove_cve(&mut self, cve: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.cve != cve);
+        before - self.entries.len()
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[VdcEntry] {
+        &self.entries
+    }
+
+    /// Number of entries (functions, not vulnerabilities).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty (JITBULL disabled — zero overhead).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Distinct vulnerability ids present.
+    pub fn cves(&self) -> Vec<&str> {
+        let mut cves: Vec<&str> = self.entries.iter().map(|e| e.cve.as_str()).collect();
+        cves.dedup();
+        cves.sort_unstable();
+        cves.dedup();
+        cves
+    }
+
+    /// Serialises the whole database to the maintainer-update text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("@entry {} {}\n", e.cve, e.function));
+            out.push_str(&e.dna.to_text());
+        }
+        out
+    }
+
+    /// Parses [`DnaDatabase::to_text`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str, n_slots: usize) -> Result<Self, String> {
+        let mut db = DnaDatabase::new();
+        let mut current: Option<(String, String, String)> = None;
+        let flush = |db: &mut DnaDatabase,
+                     cur: &mut Option<(String, String, String)>|
+         -> Result<(), String> {
+            if let Some((cve, function, body)) = cur.take() {
+                let dna = Dna::from_text(&body, n_slots)?;
+                db.entries.push(VdcEntry { cve, function, dna });
+            }
+            Ok(())
+        };
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("@entry ") {
+                flush(&mut db, &mut current)?;
+                let mut parts = rest.splitn(2, ' ');
+                let cve = parts.next().unwrap_or_default().to_owned();
+                let function = parts
+                    .next()
+                    .ok_or_else(|| format!("malformed @entry line: {line}"))?
+                    .to_owned();
+                current = Some((cve, function, String::new()));
+            } else if let Some((_, _, body)) = &mut current {
+                body.push_str(line);
+                body.push('\n');
+            } else if !line.trim().is_empty() {
+                return Err(format!("content before first @entry: {line}"));
+            }
+        }
+        flush(&mut db, &mut current)?;
+        Ok(db)
+    }
+}
+
+impl DnaDatabase {
+    /// Writes the database to a file in the update text format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_text())
+    }
+
+    /// Reads a database previously written by [`DnaDatabase::save_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors, or `InvalidData` for malformed content.
+    pub fn load_from(path: impl AsRef<std::path::Path>, n_slots: usize) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        DnaDatabase::from_text(&text, n_slots)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl fmt::Display for DnaDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dna database: {} entries across {} vulnerabilities",
+            self.len(),
+            self.cves().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna::chain;
+
+    fn sample_dna() -> Dna {
+        let mut dna = Dna::with_slots(8);
+        dna.deltas[3]
+            .removed
+            .insert(chain(&["boundscheck", "initializedlength", "unbox:array"]));
+        dna
+    }
+
+    #[test]
+    fn install_and_remove() {
+        let mut db = DnaDatabase::new();
+        assert!(db.is_empty());
+        db.install("CVE-2019-17026", "trigger", sample_dna());
+        db.install("CVE-2019-17026", "helper", sample_dna());
+        db.install("CVE-2019-9810", "pwn", sample_dna());
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.cves(), vec!["CVE-2019-17026", "CVE-2019-9810"]);
+        assert_eq!(db.remove_cve("CVE-2019-17026"), 2);
+        assert_eq!(db.len(), 1);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn trivial_dna_is_not_installed() {
+        let mut db = DnaDatabase::new();
+        db.install("CVE-X", "f", Dna::with_slots(8));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut db = DnaDatabase::new();
+        db.install("CVE-2019-17026", "trigger", sample_dna());
+        db.install("CVE-2019-9810", "pwn", sample_dna());
+        let text = db.to_text();
+        let back = DnaDatabase::from_text(&text, 8).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        assert!(DnaDatabase::from_text("not an entry", 8).is_err());
+        assert!(DnaDatabase::from_text("@entry onlyone", 8).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut db = DnaDatabase::new();
+        db.install("CVE-2019-17026", "trigger", sample_dna());
+        let dir = std::env::temp_dir().join("jitbull-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("update.dnadb");
+        db.save_to(&path).unwrap();
+        let back = DnaDatabase::load_from(&path, 8).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage_file() {
+        let dir = std::env::temp_dir().join("jitbull-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.dnadb");
+        std::fs::write(&path, "not a database").unwrap();
+        assert!(DnaDatabase::load_from(&path, 8).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut db = DnaDatabase::new();
+        db.install("CVE-1", "f", sample_dna());
+        assert_eq!(
+            db.to_string(),
+            "dna database: 1 entries across 1 vulnerabilities"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! The engine-facing facade: extract DNA from a compilation trace, compare
+//! against the database, and account the analysis cost.
+
+use jitbull_mir::PassTrace;
+
+use crate::compare::{dangerous_passes, CompareConfig};
+use crate::db::DnaDatabase;
+use crate::dna::Dna;
+use crate::extract::{extract_dna, trace_work};
+
+/// Cycle cost charged per instruction touched during Δ extraction.
+pub const EXTRACT_COST_PER_INSTR: u64 = 120;
+/// Cycle cost charged per (function-delta × DB-entry-delta) sub-chain
+/// comparison unit.
+pub const COMPARE_COST_PER_CHAIN: u64 = 60;
+
+/// The result of analysing one compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Pipeline slots found similar to at least one VDC entry, sorted and
+    /// deduplicated (the paper's `DisPass`).
+    pub dangerous: Vec<usize>,
+    /// Which VDC entries matched: `(cve, function, slots)`.
+    pub matches: Vec<(String, String, Vec<usize>)>,
+    /// Simulated cycles the analysis consumed (extraction + comparison).
+    pub cost_cycles: u64,
+    /// The extracted DNA (kept so callers can install it into a DB —
+    /// that's exactly how VDC DNA is produced in step 1).
+    pub dna: Dna,
+}
+
+/// JITBULL's runtime guard: database + comparator configuration.
+///
+/// # Examples
+///
+/// ```
+/// use jitbull::{Guard, DnaDatabase, CompareConfig};
+/// let guard = Guard::new(DnaDatabase::new(), CompareConfig::default());
+/// assert!(!guard.enabled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Guard {
+    db: DnaDatabase,
+    config: CompareConfig,
+}
+
+impl Guard {
+    /// Creates a guard over a database.
+    pub fn new(db: DnaDatabase, config: CompareConfig) -> Self {
+        Guard { db, config }
+    }
+
+    /// Whether JITBULL processing is active. With an empty database the
+    /// engine skips snapshotting entirely — the paper's zero-overhead
+    /// empty-DB property.
+    pub fn enabled(&self) -> bool {
+        !self.db.is_empty()
+    }
+
+    /// Immutable database access.
+    pub fn db(&self) -> &DnaDatabase {
+        &self.db
+    }
+
+    /// Mutable database access (install on disclosure, remove on patch).
+    pub fn db_mut(&mut self) -> &mut DnaDatabase {
+        &mut self.db
+    }
+
+    /// The comparator configuration.
+    pub fn config(&self) -> &CompareConfig {
+        &self.config
+    }
+
+    /// Analyses one compilation trace against every VDC entry (step 2 of
+    /// the paper's workflow; Algorithm 2 inside).
+    pub fn analyze(&self, trace: &PassTrace, n_slots: usize) -> Analysis {
+        let dna = extract_dna(trace, n_slots);
+        let mut cost = trace_work(trace) * EXTRACT_COST_PER_INSTR;
+        let mut dangerous: Vec<usize> = Vec::new();
+        let mut matches = Vec::new();
+        for entry in self.db.entries() {
+            let slots = dangerous_passes(&dna, &entry.dna, &self.config);
+            // Comparison cost: proportional to the sub-chain volume on both
+            // sides.
+            let f_chains: usize = dna
+                .deltas
+                .iter()
+                .map(|d| d.removed.len() + d.added.len())
+                .sum();
+            let v_chains: usize = entry
+                .dna
+                .deltas
+                .iter()
+                .map(|d| d.removed.len() + d.added.len())
+                .sum();
+            cost += (f_chains + v_chains) as u64 * COMPARE_COST_PER_CHAIN;
+            if !slots.is_empty() {
+                matches.push((entry.cve.clone(), entry.function.clone(), slots.clone()));
+                dangerous.extend(slots);
+            }
+        }
+        dangerous.sort_unstable();
+        dangerous.dedup();
+        Analysis {
+            dangerous,
+            matches,
+            cost_cycles: cost,
+            dna,
+        }
+    }
+
+    /// Extracts DNA only (step 1: building database entries from a VDC
+    /// compilation).
+    pub fn extract(trace: &PassTrace, n_slots: usize) -> Dna {
+        extract_dna(trace, n_slots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitbull_mir::{MirSnapshot, PassRecord, SnapInstr};
+    use std::rc::Rc;
+
+    fn instr(id: u32, label: &str, operands: &[u32]) -> SnapInstr {
+        SnapInstr {
+            id,
+            label: Rc::from(label),
+            operands: operands.to_vec(),
+        }
+    }
+
+    fn guarded_load() -> MirSnapshot {
+        MirSnapshot {
+            instrs: vec![
+                instr(0, "parameter0", &[]),
+                instr(1, "parameter1", &[]),
+                instr(2, "unbox:array", &[0]),
+                instr(3, "initializedlength", &[2]),
+                instr(4, "boundscheck", &[1, 3]),
+                instr(5, "loadelement", &[2, 4]),
+                instr(6, "return", &[5]),
+            ],
+        }
+    }
+
+    fn unguarded_load() -> MirSnapshot {
+        MirSnapshot {
+            instrs: vec![
+                instr(0, "parameter0", &[]),
+                instr(1, "parameter1", &[]),
+                instr(2, "unbox:array", &[0]),
+                instr(5, "loadelement", &[2, 1]),
+                instr(6, "return", &[5]),
+            ],
+        }
+    }
+
+    fn trace_removing_check(slot: usize) -> PassTrace {
+        PassTrace {
+            function: "f".into(),
+            records: vec![PassRecord {
+                slot,
+                name: "GVN",
+                before: guarded_load(),
+                after: unguarded_load(),
+            }],
+        }
+    }
+
+    #[test]
+    fn matching_trace_flags_the_pass() {
+        // Build a DB from the "VDC" trace, then analyse an identical trace.
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let vdc_dna = Guard::extract(&trace_removing_check(6), 32);
+        let mut db = DnaDatabase::new();
+        db.install("CVE-2019-17026", "f", vdc_dna);
+        let guard = Guard::new(db, cfg);
+        assert!(guard.enabled());
+        let analysis = guard.analyze(&trace_removing_check(6), 32);
+        assert_eq!(analysis.dangerous, vec![6]);
+        assert_eq!(analysis.matches.len(), 1);
+        assert!(analysis.cost_cycles > 0);
+    }
+
+    #[test]
+    fn different_slot_does_not_match() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let vdc_dna = Guard::extract(&trace_removing_check(6), 32);
+        let mut db = DnaDatabase::new();
+        db.install("CVE-2019-17026", "f", vdc_dna);
+        let guard = Guard::new(db, cfg);
+        let analysis = guard.analyze(&trace_removing_check(9), 32);
+        assert!(analysis.dangerous.is_empty());
+    }
+
+    #[test]
+    fn unrelated_delta_does_not_match() {
+        let cfg = CompareConfig::default();
+        let vdc_dna = Guard::extract(&trace_removing_check(6), 32);
+        let mut db = DnaDatabase::new();
+        db.install("CVE-2019-17026", "f", vdc_dna);
+        let guard = Guard::new(db, cfg);
+        // A benign pass that removed an arithmetic chain instead.
+        let before = MirSnapshot {
+            instrs: vec![
+                instr(0, "parameter0", &[]),
+                instr(1, "constant:number", &[]),
+                instr(2, "add", &[0, 1]),
+                instr(3, "mul", &[2, 2]),
+                instr(4, "return", &[3]),
+            ],
+        };
+        let after = MirSnapshot {
+            instrs: vec![
+                instr(0, "parameter0", &[]),
+                instr(1, "constant:number", &[]),
+                instr(3, "mul", &[0, 0]),
+                instr(4, "return", &[3]),
+            ],
+        };
+        let trace = PassTrace {
+            function: "g".into(),
+            records: vec![PassRecord {
+                slot: 6,
+                name: "GVN",
+                before,
+                after,
+            }],
+        };
+        let analysis = guard.analyze(&trace, 32);
+        assert!(analysis.dangerous.is_empty(), "{:?}", analysis.matches);
+    }
+
+    #[test]
+    fn multiple_vdcs_union_their_slots() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", Guard::extract(&trace_removing_check(6), 32));
+        db.install("CVE-B", "f", Guard::extract(&trace_removing_check(11), 32));
+        let guard = Guard::new(db, cfg);
+        let mut trace = trace_removing_check(6);
+        trace
+            .records
+            .push(trace_removing_check(11).records.pop().unwrap());
+        let analysis = guard.analyze(&trace, 32);
+        assert_eq!(analysis.dangerous, vec![6, 11]);
+        assert_eq!(analysis.matches.len(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests on the Δ extractor and Δ comparator.
+
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use jitbull::compare::{compare_chains, CompareConfig};
+use jitbull::extract::extract_delta;
+use jitbull::Chain;
+use jitbull_mir::{MirSnapshot, SnapInstr};
+
+const LABELS: &[&str] = &[
+    "add",
+    "mul",
+    "constant:number",
+    "parameter0",
+    "parameter1",
+    "loadelement",
+    "boundscheck",
+    "initializedlength",
+    "unbox:array",
+    "return",
+    "phi",
+];
+
+/// A random DAG snapshot: instruction `k` may only reference lower ids,
+/// so the graph is acyclic by construction (like freshly built MIR).
+fn snapshot() -> impl Strategy<Value = MirSnapshot> {
+    proptest::collection::vec(
+        (
+            0..LABELS.len(),
+            proptest::collection::vec(any::<u16>(), 0..3),
+        ),
+        1..24,
+    )
+    .prop_map(|nodes| {
+        let n = nodes.len() as u32;
+        let instrs = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(id, (label, refs))| SnapInstr {
+                id: id as u32,
+                label: Rc::from(LABELS[label]),
+                operands: if id == 0 {
+                    vec![]
+                } else {
+                    refs.into_iter().map(|r| r as u32 % id as u32).collect()
+                },
+            })
+            .collect();
+        let _ = n;
+        MirSnapshot { instrs }
+    })
+}
+
+fn chain_set() -> impl Strategy<Value = BTreeSet<Chain>> {
+    proptest::collection::btree_set(
+        proptest::collection::vec((0..LABELS.len()).prop_map(|i| Rc::from(LABELS[i])), 2..5),
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A pass that changes nothing has empty DNA.
+    #[test]
+    fn identical_snapshots_give_empty_delta(s in snapshot()) {
+        let delta = extract_delta(&s, &s);
+        prop_assert!(delta.is_empty(), "{delta:?}");
+    }
+
+    /// Renumbering (an id permutation) is invisible to the extractor.
+    #[test]
+    fn id_permutation_gives_empty_delta(s in snapshot(), offset in 1u32..1000) {
+        let renumbered = MirSnapshot {
+            instrs: s
+                .instrs
+                .iter()
+                .map(|i| SnapInstr {
+                    id: i.id + offset,
+                    label: i.label.clone(),
+                    operands: i.operands.iter().map(|o| o + offset).collect(),
+                })
+                .collect(),
+        };
+        let delta = extract_delta(&s, &renumbered);
+        prop_assert!(delta.is_empty(), "{delta:?}");
+    }
+
+    /// Deltas are anti-symmetric: swapping before/after swaps removed and
+    /// added.
+    #[test]
+    fn delta_is_antisymmetric(a in snapshot(), b in snapshot()) {
+        let ab = extract_delta(&a, &b);
+        let ba = extract_delta(&b, &a);
+        prop_assert_eq!(ab.removed, ba.added);
+        prop_assert_eq!(ab.added, ba.removed);
+    }
+
+    /// Self-comparison matches exactly when the set clears `Thr`.
+    #[test]
+    fn self_comparison_thresholds(set in chain_set(), thr in 1usize..6) {
+        let config = CompareConfig { thr, ratio: 0.5 };
+        let matches = compare_chains(&set, &set, &config);
+        prop_assert_eq!(matches, set.len() >= thr);
+    }
+
+    /// Disjoint chain sets never match.
+    #[test]
+    fn disjoint_sets_never_match(set in chain_set()) {
+        let config = CompareConfig::default();
+        let relabeled: BTreeSet<Chain> = set
+            .iter()
+            .map(|c| {
+                let mut c = c.clone();
+                c.push(Rc::from("sentinel-tail"));
+                c
+            })
+            .collect();
+        prop_assert!(!compare_chains(&set, &relabeled, &config));
+    }
+
+    /// Adding the same chains to both sides never breaks an existing
+    /// match (comparator monotonicity under shared growth).
+    #[test]
+    fn shared_growth_preserves_matches(a in chain_set(), b in chain_set(), extra in chain_set()) {
+        let config = CompareConfig::default();
+        if compare_chains(&a, &b, &config) {
+            let a2: BTreeSet<Chain> = a.union(&extra).cloned().collect();
+            let b2: BTreeSet<Chain> = b.union(&extra).cloned().collect();
+            prop_assert!(compare_chains(&a2, &b2, &config));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Abstract syntax tree for minijs.
+//!
+//! The AST is deliberately plain data (`pub` fields, `Clone`, `PartialEq`) so
+//! that the variant generators in `jitbull-vdc` can perform source-to-source
+//! transforms by direct structural manipulation.
+
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    StrictEq,
+    StrictNe,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Ushr,
+}
+
+impl BinOp {
+    /// The surface-syntax spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::StrictEq => "===",
+            BinOp::StrictNe => "!==",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Ushr => ">>>",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!x`.
+    Not,
+    /// Bitwise not `~x`.
+    BitNot,
+    /// Unary plus `+x` (number coercion).
+    Plus,
+    /// `typeof x`.
+    Typeof,
+}
+
+impl UnOp {
+    /// The surface-syntax spelling of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "!",
+            UnOp::BitNot => "~",
+            UnOp::Plus => "+",
+            UnOp::Typeof => "typeof ",
+        }
+    }
+}
+
+/// Assignment targets: plain variables, indexed elements, or properties.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// `name = …`
+    Var(String),
+    /// `base[index] = …`
+    Index(Box<Expr>, Box<Expr>),
+    /// `base.prop = …`
+    Prop(Box<Expr>, String),
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// The `undefined` literal.
+    Undefined,
+    /// The `null` literal.
+    Null,
+    /// The `this` receiver inside a method call.
+    This,
+    /// Variable (or function) reference.
+    Var(String),
+    /// Array literal `[a, b, c]`.
+    Array(Vec<Expr>),
+    /// Object literal `{k: v, …}`.
+    Object(Vec<(String, Expr)>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Short-circuit `a && b`.
+    LogicalAnd(Box<Expr>, Box<Expr>),
+    /// Short-circuit `a || b`.
+    LogicalOr(Box<Expr>, Box<Expr>),
+    /// Ternary `cond ? a : b`.
+    Conditional(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Assignment (expression-valued, like JS).
+    Assign(Target, Box<Expr>),
+    /// Call `callee(args…)`. The callee is an arbitrary expression; a
+    /// property-access callee becomes a method call (`this` bound to base).
+    Call(Box<Expr>, Vec<Expr>),
+    /// Constructor call `new Callee(args…)`.
+    New(String, Vec<Expr>),
+    /// Indexed element access `base[index]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// Property access `base.prop` (including `.length`).
+    Prop(Box<Expr>, String),
+    /// Pre/post increment/decrement, represented explicitly to preserve
+    /// value semantics (`x++` yields the old value).
+    IncDec {
+        /// The updated target.
+        target: Target,
+        /// +1 or -1.
+        delta: i8,
+        /// Whether the operator is prefix (`++x`) or postfix (`x++`).
+        prefix: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience constructor for a number literal.
+    pub fn num(n: f64) -> Expr {
+        Expr::Number(n)
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `var name = init;` (init defaults to `undefined`).
+    VarDecl(String, Option<Expr>),
+    /// Bare expression statement.
+    Expr(Expr),
+    /// `if (cond) { … } else { … }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { … }`.
+    While(Expr, Vec<Stmt>),
+    /// `for (init; cond; step) { … }`. All three headers are optional.
+    For {
+        /// Loop initializer, run once.
+        init: Option<Box<Stmt>>,
+        /// Loop condition; absent means `true`.
+        cond: Option<Expr>,
+        /// Step expression, run after each iteration.
+        step: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `return expr;` (expr defaults to `undefined`).
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// Nested function declaration (hoisted; may not capture locals).
+    Func(FunctionDecl),
+    /// A `{ … }` block (minijs is function-scoped, so this only groups).
+    Block(Vec<Stmt>),
+}
+
+/// A function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDecl {
+    /// The function's global name.
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed minijs program: hoisted function declarations plus top-level
+/// statements executed in order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// All function declarations, including nested ones (hoisted).
+    pub functions: Vec<FunctionDecl>,
+    /// Top-level statements.
+    pub top_level: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program::default()
+    }
+
+    /// Looks up a function declaration by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionDecl> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_symbols_round_trip() {
+        assert_eq!(BinOp::Ushr.symbol(), ">>>");
+        assert_eq!(BinOp::StrictEq.to_string(), "===");
+    }
+
+    #[test]
+    fn program_function_lookup() {
+        let mut p = Program::new();
+        p.functions.push(FunctionDecl {
+            name: "f".into(),
+            params: vec![],
+            body: vec![],
+        });
+        assert!(p.function("f").is_some());
+        assert!(p.function("g").is_none());
+    }
+}

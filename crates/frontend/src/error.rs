@@ -1,0 +1,54 @@
+//! Error types for lexing and parsing minijs source.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::token::Span;
+
+/// An error produced while lexing or parsing minijs source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    message: String,
+    span: Span,
+}
+
+impl ParseError {
+    /// Creates a parse error with a message and the offending span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The human-readable description of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The source location the error points at.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let err = ParseError::new("unexpected token", Span::new(4, 5, 2));
+        assert_eq!(err.to_string(), "unexpected token at line 2");
+        assert_eq!(err.message(), "unexpected token");
+        assert_eq!(err.span().line, 2);
+    }
+}

@@ -1,0 +1,420 @@
+//! Hand-written lexer for minijs.
+
+use crate::error::ParseError;
+use crate::token::{Span, Token, TokenKind};
+
+/// Tokenizes a full source string.
+///
+/// The returned vector always ends with a single [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated strings, malformed numbers, or
+/// characters outside the minijs alphabet.
+///
+/// # Examples
+///
+/// ```
+/// use jitbull_frontend::lexer::tokenize;
+/// let tokens = tokenize("var x = 1;")?;
+/// assert_eq!(tokens.len(), 6); // var, x, =, 1, ;, <eof>
+/// # Ok::<(), jitbull_frontend::ParseError>(())
+/// ```
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, ParseError> {
+        while self.pos < self.src.len() {
+            self.skip_trivia();
+            if self.pos >= self.src.len() {
+                break;
+            }
+            let start = self.pos;
+            let c = self.src[self.pos];
+            let kind = match c {
+                b'0'..=b'9' => self.number()?,
+                b'"' | b'\'' => self.string(c)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => self.ident_or_keyword(),
+                _ => self.punct()?,
+            };
+            let span = Span::new(start, self.pos, self.line);
+            self.tokens.push(Token::new(kind, span));
+        }
+        let eof_span = Span::new(self.pos, self.pos, self.line);
+        self.tokens.push(Token::new(TokenKind::Eof, eof_span));
+        Ok(self.tokens)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            while self.pos < self.src.len() {
+                match self.src[self.pos] {
+                    b'\n' => {
+                        self.line += 1;
+                        self.pos += 1;
+                    }
+                    b' ' | b'\t' | b'\r' => self.pos += 1,
+                    _ => break,
+                }
+            }
+            if self.peek_is(b'/') && self.peek_at_is(1, b'/') {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            if self.peek_is(b'/') && self.peek_at_is(1, b'*') {
+                self.pos += 2;
+                while self.pos + 1 < self.src.len()
+                    && !(self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/')
+                {
+                    if self.src[self.pos] == b'\n' {
+                        self.line += 1;
+                    }
+                    self.pos += 1;
+                }
+                self.pos = (self.pos + 2).min(self.src.len());
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn peek_is(&self, c: u8) -> bool {
+        self.pos < self.src.len() && self.src[self.pos] == c
+    }
+
+    /// Checks the byte at `pos + offset` against a byte or inclusive range.
+    #[allow(private_bounds)]
+    fn peek_at_is<P: PatternMatch>(&self, offset: usize, p: P) -> bool {
+        self.pos + offset < self.src.len() && p.matches(self.src[self.pos + offset])
+    }
+
+    fn number(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        // Hex literal.
+        if self.peek_is(b'0') && (self.peek_at_is(1, b'x') || self.peek_at_is(1, b'X')) {
+            self.pos += 2;
+            let digits_start = self.pos;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_hexdigit() {
+                self.pos += 1;
+            }
+            if self.pos == digits_start {
+                return Err(self.err("malformed hex literal", start));
+            }
+            let text = std::str::from_utf8(&self.src[digits_start..self.pos]).unwrap();
+            let value = u64::from_str_radix(text, 16)
+                .map_err(|_| self.err("hex literal out of range", start))?;
+            return Ok(TokenKind::Number(value as f64));
+        }
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.peek_is(b'.') && self.peek_at_is(1, b'0'..=b'9') {
+            self.pos += 1;
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                self.pos += 1;
+            }
+        }
+        if self.peek_is(b'e') || self.peek_is(b'E') {
+            let mut lookahead = self.pos + 1;
+            if lookahead < self.src.len()
+                && (self.src[lookahead] == b'+' || self.src[lookahead] == b'-')
+            {
+                lookahead += 1;
+            }
+            if lookahead < self.src.len() && self.src[lookahead].is_ascii_digit() {
+                self.pos = lookahead;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let value: f64 = text
+            .parse()
+            .map_err(|_| self.err("malformed number literal", start))?;
+        Ok(TokenKind::Number(value))
+    }
+
+    fn string(&mut self, quote: u8) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        self.pos += 1;
+        let mut out = String::new();
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c == quote {
+                self.pos += 1;
+                return Ok(TokenKind::Str(out));
+            }
+            if c == b'\\' {
+                self.pos += 1;
+                if self.pos >= self.src.len() {
+                    break;
+                }
+                let esc = self.src[self.pos];
+                out.push(match esc {
+                    b'n' => '\n',
+                    b't' => '\t',
+                    b'r' => '\r',
+                    b'0' => '\0',
+                    b'\\' => '\\',
+                    b'\'' => '\'',
+                    b'"' => '"',
+                    other => other as char,
+                });
+                self.pos += 1;
+                continue;
+            }
+            if c == b'\n' {
+                self.line += 1;
+            }
+            out.push(c as char);
+            self.pos += 1;
+        }
+        Err(self.err("unterminated string literal", start))
+    }
+
+    fn ident_or_keyword(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'$' => self.pos += 1,
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        match text {
+            "var" | "let" | "const" => TokenKind::Var,
+            "function" => TokenKind::Function,
+            "return" => TokenKind::Return,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "undefined" => TokenKind::Undefined,
+            "null" => TokenKind::Null,
+            "new" => TokenKind::New,
+            "this" => TokenKind::This,
+            "typeof" => TokenKind::Typeof,
+            "delete" => TokenKind::Delete,
+            _ => TokenKind::Ident(text.to_owned()),
+        }
+    }
+
+    fn punct(&mut self) -> Result<TokenKind, ParseError> {
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        // Longest-match table; order matters.
+        const TABLE: &[(&[u8], TokenKind)] = &[
+            (b">>>=", TokenKind::UshrAssign),
+            (b"===", TokenKind::EqEqEq),
+            (b"!==", TokenKind::NotEqEq),
+            (b">>>", TokenKind::Ushr),
+            (b"<<=", TokenKind::ShlAssign),
+            (b">>=", TokenKind::ShrAssign),
+            (b"==", TokenKind::EqEq),
+            (b"!=", TokenKind::NotEq),
+            (b"<=", TokenKind::Le),
+            (b">=", TokenKind::Ge),
+            (b"&&", TokenKind::AmpAmp),
+            (b"||", TokenKind::PipePipe),
+            (b"<<", TokenKind::Shl),
+            (b">>", TokenKind::Shr),
+            (b"+=", TokenKind::PlusAssign),
+            (b"-=", TokenKind::MinusAssign),
+            (b"*=", TokenKind::StarAssign),
+            (b"/=", TokenKind::SlashAssign),
+            (b"%=", TokenKind::PercentAssign),
+            (b"&=", TokenKind::AmpAssign),
+            (b"|=", TokenKind::PipeAssign),
+            (b"^=", TokenKind::CaretAssign),
+            (b"++", TokenKind::PlusPlus),
+            (b"--", TokenKind::MinusMinus),
+            (b"(", TokenKind::LParen),
+            (b")", TokenKind::RParen),
+            (b"{", TokenKind::LBrace),
+            (b"}", TokenKind::RBrace),
+            (b"[", TokenKind::LBracket),
+            (b"]", TokenKind::RBracket),
+            (b",", TokenKind::Comma),
+            (b";", TokenKind::Semicolon),
+            (b":", TokenKind::Colon),
+            (b".", TokenKind::Dot),
+            (b"?", TokenKind::Question),
+            (b"+", TokenKind::Plus),
+            (b"-", TokenKind::Minus),
+            (b"*", TokenKind::Star),
+            (b"/", TokenKind::Slash),
+            (b"%", TokenKind::Percent),
+            (b"=", TokenKind::Assign),
+            (b"<", TokenKind::Lt),
+            (b">", TokenKind::Gt),
+            (b"!", TokenKind::Not),
+            (b"&", TokenKind::Amp),
+            (b"|", TokenKind::Pipe),
+            (b"^", TokenKind::Caret),
+            (b"~", TokenKind::Tilde),
+        ];
+        for (text, kind) in TABLE {
+            if rest.starts_with(text) {
+                self.pos += text.len();
+                return Ok(kind.clone());
+            }
+        }
+        Err(self.err(
+            format!("unexpected character `{}`", self.src[start] as char),
+            start,
+        ))
+    }
+
+    fn err(&self, message: impl Into<String>, start: usize) -> ParseError {
+        ParseError::new(
+            message,
+            Span::new(start, self.pos.max(start + 1), self.line),
+        )
+    }
+}
+
+trait PatternMatch {
+    fn matches(&self, c: u8) -> bool;
+}
+
+impl PatternMatch for u8 {
+    fn matches(&self, c: u8) -> bool {
+        *self == c
+    }
+}
+
+impl PatternMatch for std::ops::RangeInclusive<u8> {
+    fn matches(&self, c: u8) -> bool {
+        self.contains(&c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        assert_eq!(
+            kinds("var x = 1;"),
+            vec![
+                TokenKind::Var,
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::Number(1.0),
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("3.5")[0], TokenKind::Number(3.5));
+        assert_eq!(kinds("0xff")[0], TokenKind::Number(255.0));
+        assert_eq!(kinds("1e3")[0], TokenKind::Number(1000.0));
+        assert_eq!(kinds("2.5e-2")[0], TokenKind::Number(0.025));
+    }
+
+    #[test]
+    fn number_followed_by_method_call_is_not_decimal() {
+        // `3.x` should not swallow the dot as a decimal point.
+        assert_eq!(
+            kinds("3.toString")[..2],
+            [TokenKind::Number(3.0), TokenKind::Dot]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(kinds("\"a\\nb\"")[0], TokenKind::Str("a\nb".into()));
+        assert_eq!(kinds("'ok'")[0], TokenKind::Str("ok".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("\"abc").is_err());
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(
+            kinds("1 // comment\n/* multi\nline */ 2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn longest_match_operators() {
+        assert_eq!(
+            kinds("a >>> b >> c > d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ushr,
+                TokenKind::Ident("b".into()),
+                TokenKind::Shr,
+                TokenKind::Ident("c".into()),
+                TokenKind::Gt,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(kinds("===")[0], TokenKind::EqEqEq);
+        assert_eq!(kinds(">>>=")[0], TokenKind::UshrAssign);
+    }
+
+    #[test]
+    fn keywords_versus_identifiers() {
+        assert_eq!(kinds("function")[0], TokenKind::Function);
+        assert_eq!(kinds("functions")[0], TokenKind::Ident("functions".into()));
+        assert_eq!(kinds("let")[0], TokenKind::Var);
+        assert_eq!(kinds("const")[0], TokenKind::Var);
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let tokens = tokenize("a\nb\n\nc").unwrap();
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[2].span.line, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("var à = 1;").is_err());
+    }
+}

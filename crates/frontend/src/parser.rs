@@ -1,0 +1,836 @@
+//! Recursive-descent parser for minijs.
+
+use crate::ast::{BinOp, Expr, FunctionDecl, Program, Stmt, Target, UnOp};
+use crate::error::ParseError;
+use crate::lexer::tokenize;
+use crate::token::{Span, Token, TokenKind};
+
+/// Parses a complete minijs program.
+///
+/// Top-level `function` declarations are collected into
+/// [`Program::functions`]; nested function declarations stay inline as
+/// [`Stmt::Func`] nodes (the bytecode compiler hoists them).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+///
+/// # Examples
+///
+/// ```
+/// use jitbull_frontend::parse_program;
+/// let p = parse_program("function f(x) { return x * 2; } f(21);")?;
+/// assert_eq!(p.functions[0].name, "f");
+/// assert_eq!(p.top_level.len(), 1);
+/// # Ok::<(), jitbull_frontend::ParseError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(source)?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if self.peek() == &kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected `{kind}`, found `{}`", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(ParseError::new(
+                format!("expected identifier, found `{other}`"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn program(mut self) -> Result<Program, ParseError> {
+        let mut program = Program::new();
+        while self.peek() != &TokenKind::Eof {
+            if self.peek() == &TokenKind::Function {
+                program.functions.push(self.function_decl()?);
+            } else {
+                program.top_level.push(self.statement()?);
+            }
+        }
+        Ok(program)
+    }
+
+    fn function_decl(&mut self) -> Result<FunctionDecl, ParseError> {
+        self.expect(TokenKind::Function)?;
+        let name = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                params.push(self.expect_ident()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(FunctionDecl { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace && self.peek() != &TokenKind::Eof {
+            stmts.push(self.statement()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    /// Either a braced block or a single statement (for `if`/loops without
+    /// braces).
+    fn block_or_stmt(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        if self.peek() == &TokenKind::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            TokenKind::Var => self.var_decl(),
+            TokenKind::Function => Ok(Stmt::Func(self.function_decl()?)),
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Return => {
+                self.advance();
+                let value = if self.peek() == &TokenKind::Semicolon {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.eat(&TokenKind::Semicolon);
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::Break => {
+                self.advance();
+                self.eat(&TokenKind::Semicolon);
+                Ok(Stmt::Break)
+            }
+            TokenKind::Continue => {
+                self.advance();
+                self.eat(&TokenKind::Semicolon);
+                Ok(Stmt::Continue)
+            }
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            TokenKind::Semicolon => {
+                self.advance();
+                Ok(Stmt::Block(Vec::new()))
+            }
+            _ => {
+                let expr = self.expression()?;
+                self.eat(&TokenKind::Semicolon);
+                Ok(Stmt::Expr(expr))
+            }
+        }
+    }
+
+    fn var_decl(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokenKind::Var)?;
+        let mut decls = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.assignment()?)
+            } else {
+                None
+            };
+            decls.push(Stmt::VarDecl(name, init));
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.eat(&TokenKind::Semicolon);
+        if decls.len() == 1 {
+            Ok(decls.pop().unwrap())
+        } else {
+            Ok(Stmt::Block(decls))
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokenKind::If)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expression()?;
+        self.expect(TokenKind::RParen)?;
+        let then_body = self.block_or_stmt()?;
+        let else_body = if self.eat(&TokenKind::Else) {
+            if self.peek() == &TokenKind::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block_or_stmt()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If(cond, then_body, else_body))
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokenKind::While)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expression()?;
+        self.expect(TokenKind::RParen)?;
+        let body = self.block_or_stmt()?;
+        Ok(Stmt::While(cond, body))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(TokenKind::For)?;
+        self.expect(TokenKind::LParen)?;
+        let init = if self.peek() == &TokenKind::Semicolon {
+            self.advance();
+            None
+        } else if self.peek() == &TokenKind::Var {
+            Some(Box::new(self.var_decl()?))
+        } else {
+            let e = self.expression()?;
+            self.expect(TokenKind::Semicolon)?;
+            Some(Box::new(Stmt::Expr(e)))
+        };
+        let cond = if self.peek() == &TokenKind::Semicolon {
+            None
+        } else {
+            Some(self.expression()?)
+        };
+        self.expect(TokenKind::Semicolon)?;
+        let step = if self.peek() == &TokenKind::RParen {
+            None
+        } else {
+            Some(self.expression()?)
+        };
+        self.expect(TokenKind::RParen)?;
+        let body = self.block_or_stmt()?;
+        Ok(Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        })
+    }
+
+    fn expression(&mut self) -> Result<Expr, ParseError> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.conditional()?;
+        let compound = |op: BinOp| Some(op);
+        let op = match self.peek() {
+            TokenKind::Assign => None,
+            TokenKind::PlusAssign => compound(BinOp::Add),
+            TokenKind::MinusAssign => compound(BinOp::Sub),
+            TokenKind::StarAssign => compound(BinOp::Mul),
+            TokenKind::SlashAssign => compound(BinOp::Div),
+            TokenKind::PercentAssign => compound(BinOp::Mod),
+            TokenKind::AmpAssign => compound(BinOp::BitAnd),
+            TokenKind::PipeAssign => compound(BinOp::BitOr),
+            TokenKind::CaretAssign => compound(BinOp::BitXor),
+            TokenKind::ShlAssign => compound(BinOp::Shl),
+            TokenKind::ShrAssign => compound(BinOp::Shr),
+            TokenKind::UshrAssign => compound(BinOp::Ushr),
+            _ => return Ok(lhs),
+        };
+        let span = self.span();
+        self.advance();
+        let rhs = self.assignment()?;
+        let target = expr_to_target(&lhs)
+            .ok_or_else(|| ParseError::new("invalid assignment target", span))?;
+        let value = match op {
+            None => rhs,
+            Some(op) => Expr::Binary(op, Box::new(lhs), Box::new(rhs)),
+        };
+        Ok(Expr::Assign(target, Box::new(value)))
+    }
+
+    fn conditional(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.logical_or()?;
+        if self.eat(&TokenKind::Question) {
+            let then = self.assignment()?;
+            self.expect(TokenKind::Colon)?;
+            let other = self.assignment()?;
+            Ok(Expr::Conditional(
+                Box::new(cond),
+                Box::new(then),
+                Box::new(other),
+            ))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.logical_and()?;
+        while self.eat(&TokenKind::PipePipe) {
+            let rhs = self.logical_and()?;
+            lhs = Expr::LogicalOr(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat(&TokenKind::AmpAmp) {
+            let rhs = self.bit_or()?;
+            lhs = Expr::LogicalAnd(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, ParseError> {
+        self.binary_level(0)
+    }
+
+    /// Precedence-climbing over the plain binary operators.
+    fn binary_level(&mut self, level: usize) -> Result<Expr, ParseError> {
+        const LEVELS: &[&[(TokenKind, BinOp)]] = &[
+            &[(TokenKind::Pipe, BinOp::BitOr)],
+            &[(TokenKind::Caret, BinOp::BitXor)],
+            &[(TokenKind::Amp, BinOp::BitAnd)],
+            &[
+                (TokenKind::EqEq, BinOp::Eq),
+                (TokenKind::NotEq, BinOp::Ne),
+                (TokenKind::EqEqEq, BinOp::StrictEq),
+                (TokenKind::NotEqEq, BinOp::StrictNe),
+            ],
+            &[
+                (TokenKind::Lt, BinOp::Lt),
+                (TokenKind::Le, BinOp::Le),
+                (TokenKind::Gt, BinOp::Gt),
+                (TokenKind::Ge, BinOp::Ge),
+            ],
+            &[
+                (TokenKind::Shl, BinOp::Shl),
+                (TokenKind::Shr, BinOp::Shr),
+                (TokenKind::Ushr, BinOp::Ushr),
+            ],
+            &[
+                (TokenKind::Plus, BinOp::Add),
+                (TokenKind::Minus, BinOp::Sub),
+            ],
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::Percent, BinOp::Mod),
+            ],
+        ];
+        if level == LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary_level(level + 1)?;
+        'outer: loop {
+            for (tok, op) in LEVELS[level] {
+                if self.peek() == tok {
+                    self.advance();
+                    let rhs = self.binary_level(level + 1)?;
+                    lhs = Expr::Binary(*op, Box::new(lhs), Box::new(rhs));
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Not => Some(UnOp::Not),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::Plus => Some(UnOp::Plus),
+            TokenKind::Typeof => Some(UnOp::Typeof),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let operand = self.unary()?;
+            return Ok(Expr::Unary(op, Box::new(operand)));
+        }
+        if self.peek() == &TokenKind::PlusPlus || self.peek() == &TokenKind::MinusMinus {
+            let delta = if self.peek() == &TokenKind::PlusPlus {
+                1
+            } else {
+                -1
+            };
+            let span = self.span();
+            self.advance();
+            let operand = self.unary()?;
+            let target = expr_to_target(&operand)
+                .ok_or_else(|| ParseError::new("invalid increment target", span))?;
+            return Ok(Expr::IncDec {
+                target,
+                delta,
+                prefix: true,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.primary()?;
+        loop {
+            match self.peek() {
+                TokenKind::LParen => {
+                    self.advance();
+                    let args = self.call_args()?;
+                    expr = Expr::Call(Box::new(expr), args);
+                }
+                TokenKind::LBracket => {
+                    self.advance();
+                    let index = self.expression()?;
+                    self.expect(TokenKind::RBracket)?;
+                    expr = Expr::Index(Box::new(expr), Box::new(index));
+                }
+                TokenKind::Dot => {
+                    self.advance();
+                    let name = self.property_name()?;
+                    expr = Expr::Prop(Box::new(expr), name);
+                }
+                TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                    let delta = if self.peek() == &TokenKind::PlusPlus {
+                        1
+                    } else {
+                        -1
+                    };
+                    let span = self.span();
+                    self.advance();
+                    let target = expr_to_target(&expr)
+                        .ok_or_else(|| ParseError::new("invalid increment target", span))?;
+                    expr = Expr::IncDec {
+                        target,
+                        delta,
+                        prefix: false,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    /// Property names may be identifiers or keywords used as member names
+    /// (e.g. `obj.delete` is tolerated).
+    fn property_name(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            TokenKind::Delete => {
+                self.advance();
+                Ok("delete".to_owned())
+            }
+            TokenKind::New => {
+                self.advance();
+                Ok("new".to_owned())
+            }
+            other => Err(ParseError::new(
+                format!("expected property name, found `{other}`"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut args = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                args.push(self.assignment()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Number(n) => {
+                self.advance();
+                Ok(Expr::Number(n))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::True => {
+                self.advance();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.advance();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::Undefined => {
+                self.advance();
+                Ok(Expr::Undefined)
+            }
+            TokenKind::Null => {
+                self.advance();
+                Ok(Expr::Null)
+            }
+            TokenKind::This => {
+                self.advance();
+                Ok(Expr::This)
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(Expr::Var(name))
+            }
+            TokenKind::New => {
+                self.advance();
+                let name = self.expect_ident()?;
+                let args = if self.eat(&TokenKind::LParen) {
+                    self.call_args()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Expr::New(name, args))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expression()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::LBracket => {
+                self.advance();
+                let mut items = Vec::new();
+                if self.peek() != &TokenKind::RBracket {
+                    loop {
+                        items.push(self.assignment()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RBracket)?;
+                Ok(Expr::Array(items))
+            }
+            TokenKind::LBrace => {
+                self.advance();
+                let mut props = Vec::new();
+                if self.peek() != &TokenKind::RBrace {
+                    loop {
+                        let key = match self.peek().clone() {
+                            TokenKind::Ident(k) => {
+                                self.advance();
+                                k
+                            }
+                            TokenKind::Str(k) => {
+                                self.advance();
+                                k
+                            }
+                            TokenKind::Number(n) => {
+                                self.advance();
+                                format_number_key(n)
+                            }
+                            other => {
+                                return Err(ParseError::new(
+                                    format!("expected property key, found `{other}`"),
+                                    self.span(),
+                                ))
+                            }
+                        };
+                        self.expect(TokenKind::Colon)?;
+                        let value = self.assignment()?;
+                        props.push((key, value));
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RBrace)?;
+                Ok(Expr::Object(props))
+            }
+            other => Err(ParseError::new(
+                format!("unexpected token `{other}` in expression"),
+                self.span(),
+            )),
+        }
+    }
+}
+
+fn format_number_key(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// Converts an expression used on the left-hand side of an assignment into a
+/// [`Target`], if it is a valid assignment target.
+pub fn expr_to_target(expr: &Expr) -> Option<Target> {
+    match expr {
+        Expr::Var(name) => Some(Target::Var(name.clone())),
+        Expr::Index(base, index) => Some(Target::Index(base.clone(), index.clone())),
+        Expr::Prop(base, name) => Some(Target::Prop(base.clone(), name.clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn parses_function_and_call() {
+        let p = parse("function f(a, b) { return a + b; } f(1, 2);");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].params, vec!["a", "b"]);
+        assert_eq!(p.top_level.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("var x = 1 + 2 * 3;");
+        match &p.top_level[0] {
+            Stmt::VarDecl(_, Some(Expr::Binary(BinOp::Add, _, rhs))) => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_shift_below_relational() {
+        // `a << 1 < b` parses as `(a << 1) < b`.
+        let p = parse("x = a << 1 < b;");
+        match &p.top_level[0] {
+            Stmt::Expr(Expr::Assign(_, value)) => {
+                assert!(matches!(**value, Expr::Binary(BinOp::Lt, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_loop_with_all_headers() {
+        let p = parse("for (var i = 0; i < 10; i++) { t = t + i; }");
+        match &p.top_level[0] {
+            Stmt::For {
+                init: Some(_),
+                cond: Some(_),
+                step: Some(_),
+                body,
+            } => assert_eq!(body.len(), 1),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_infinite_for() {
+        let p = parse("for (;;) { break; }");
+        assert!(matches!(
+            &p.top_level[0],
+            Stmt::For {
+                init: None,
+                cond: None,
+                step: None,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parses_member_and_index_chains() {
+        let p = parse("a.b[c].d = 1;");
+        match &p.top_level[0] {
+            Stmt::Expr(Expr::Assign(Target::Prop(base, name), _)) => {
+                assert_eq!(name, "d");
+                assert!(matches!(**base, Expr::Index(_, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_method_call_with_this() {
+        let p = parse("function C() { this.x = 1; } var o = new C(); o.m(1);");
+        assert_eq!(p.functions.len(), 1);
+        match &p.top_level[1] {
+            Stmt::Expr(Expr::Call(callee, args)) => {
+                assert!(matches!(**callee, Expr::Prop(_, _)));
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compound_assignment_desugars() {
+        let p = parse("x += 2;");
+        match &p.top_level[0] {
+            Stmt::Expr(Expr::Assign(Target::Var(n), value)) => {
+                assert_eq!(n, "x");
+                assert!(matches!(**value, Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn postfix_and_prefix_incdec() {
+        let p = parse("i++; ++j; k--;");
+        assert!(matches!(
+            &p.top_level[0],
+            Stmt::Expr(Expr::IncDec {
+                prefix: false,
+                delta: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            &p.top_level[1],
+            Stmt::Expr(Expr::IncDec {
+                prefix: true,
+                delta: 1,
+                ..
+            })
+        ));
+        assert!(matches!(
+            &p.top_level[2],
+            Stmt::Expr(Expr::IncDec {
+                prefix: false,
+                delta: -1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn ternary_and_logical() {
+        let p = parse("x = a && b ? c || d : e;");
+        match &p.top_level[0] {
+            Stmt::Expr(Expr::Assign(_, value)) => {
+                assert!(matches!(**value, Expr::Conditional(_, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn object_and_array_literals() {
+        let p = parse("var o = {a: 1, 'b': 2, 3: 4}; var arr = [1, 2, 3];");
+        match &p.top_level[0] {
+            Stmt::VarDecl(_, Some(Expr::Object(props))) => {
+                assert_eq!(props.len(), 3);
+                assert_eq!(props[2].0, "3");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        match &p.top_level[1] {
+            Stmt::VarDecl(_, Some(Expr::Array(items))) => assert_eq!(items.len(), 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_function_stays_inline() {
+        let p = parse("function outer() { function inner() { return 1; } return inner(); }");
+        assert_eq!(p.functions.len(), 1);
+        assert!(matches!(p.functions[0].body[0], Stmt::Func(_)));
+    }
+
+    #[test]
+    fn else_if_chain() {
+        let p = parse("if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; }");
+        match &p.top_level[0] {
+            Stmt::If(_, _, else_body) => {
+                assert!(matches!(else_body[0], Stmt::If(_, _, _)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_assignment_target_is_error() {
+        assert!(parse_program("1 = 2;").is_err());
+        assert!(parse_program("f() = 2;").is_err());
+    }
+
+    #[test]
+    fn reports_unexpected_token() {
+        let err = parse_program("var = 1;").unwrap_err();
+        assert!(err.message().contains("expected identifier"));
+    }
+
+    #[test]
+    fn multi_var_declaration() {
+        let p = parse("var a = 1, b = 2, c;");
+        match &p.top_level[0] {
+            Stmt::Block(decls) => assert_eq!(decls.len(), 3),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn new_without_parens() {
+        let p = parse("var o = new Thing;");
+        assert!(matches!(
+            &p.top_level[0],
+            Stmt::VarDecl(_, Some(Expr::New(_, _)))
+        ));
+    }
+}

@@ -1,0 +1,592 @@
+//! Pretty-printer rendering an AST back to minijs source.
+//!
+//! The printer is used by the variant generators: a transformed AST is
+//! printed and re-parsed, guaranteeing that variants are themselves valid
+//! minijs programs. Printing is deterministic, so
+//! `parse(print(parse(s))) == parse(s)` holds for every valid program `s`
+//! (a property test in this module checks representative cases).
+
+use std::fmt::Write as _;
+
+use crate::ast::{Expr, FunctionDecl, Program, Stmt, Target, UnOp};
+
+/// Rendering style for [`print_program_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Style {
+    /// Indented, one statement per line.
+    #[default]
+    Pretty,
+    /// Minified: no newlines, minimal whitespace (the `Terser`-like mode
+    /// used by the minification variant generator).
+    Minified,
+}
+
+/// Prints a program in [`Style::Pretty`].
+///
+/// # Examples
+///
+/// ```
+/// use jitbull_frontend::{parse_program, print_program};
+/// let p = parse_program("var x=1;")?;
+/// assert_eq!(print_program(&p), "var x = 1;\n");
+/// # Ok::<(), jitbull_frontend::ParseError>(())
+/// ```
+pub fn print_program(program: &Program) -> String {
+    print_program_with(program, Style::Pretty)
+}
+
+/// Prints a program in the given [`Style`].
+pub fn print_program_with(program: &Program, style: Style) -> String {
+    let mut p = Printer {
+        out: String::new(),
+        indent: 0,
+        style,
+    };
+    for func in &program.functions {
+        p.function(func);
+    }
+    for stmt in &program.top_level {
+        p.stmt(stmt);
+    }
+    p.out
+}
+
+/// The sign character the expression's printed form starts with, when
+/// that could fuse with a preceding unary operator.
+fn leading_char(e: &Expr) -> Option<char> {
+    match e {
+        Expr::Unary(UnOp::Neg, _) => Some('-'),
+        Expr::Unary(UnOp::Plus, _) => Some('+'),
+        Expr::Number(n) if *n < 0.0 => Some('-'),
+        Expr::IncDec {
+            delta,
+            prefix: true,
+            ..
+        } => Some(if *delta > 0 { '+' } else { '-' }),
+        _ => None,
+    }
+}
+
+/// Whether the expression's leftmost printed token would be `{`.
+fn leading_object(e: &Expr) -> bool {
+    match e {
+        Expr::Object(_) => true,
+        Expr::Binary(_, lhs, _) | Expr::LogicalAnd(lhs, _) | Expr::LogicalOr(lhs, _) => {
+            leading_object(lhs)
+        }
+        Expr::Conditional(cond, _, _) => leading_object(cond),
+        _ => false,
+    }
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+    style: Style,
+}
+
+impl Printer {
+    fn nl(&mut self) {
+        if self.style == Style::Pretty {
+            self.out.push('\n');
+        }
+    }
+
+    fn pad(&mut self) {
+        if self.style == Style::Pretty {
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn sp(&mut self) {
+        if self.style == Style::Pretty {
+            self.out.push(' ');
+        }
+    }
+
+    fn function(&mut self, f: &FunctionDecl) {
+        self.pad();
+        let _ = write!(self.out, "function {}({})", f.name, f.params.join(","));
+        self.body(&f.body);
+        self.nl();
+    }
+
+    fn body(&mut self, stmts: &[Stmt]) {
+        self.sp();
+        self.out.push('{');
+        self.nl();
+        self.indent += 1;
+        for s in stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.pad();
+        self.out.push('}');
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) {
+        match stmt {
+            Stmt::VarDecl(name, init) => {
+                self.pad();
+                let _ = write!(self.out, "var {name}");
+                if let Some(e) = init {
+                    if self.style == Style::Pretty {
+                        self.out.push_str(" = ");
+                    } else {
+                        self.out.push('=');
+                    }
+                    self.expr(e, 0);
+                }
+                self.out.push(';');
+                self.nl();
+            }
+            Stmt::Expr(e) => {
+                self.pad();
+                // JS grammar: a statement starting with `{` is a block, so
+                // an expression statement whose leftmost token would be an
+                // object literal must be parenthesised.
+                if leading_object(e) {
+                    self.out.push('(');
+                    self.expr(e, 0);
+                    self.out.push(')');
+                } else {
+                    self.expr(e, 0);
+                }
+                self.out.push(';');
+                self.nl();
+            }
+            Stmt::If(cond, then_body, else_body) => {
+                self.pad();
+                self.out.push_str("if");
+                self.sp();
+                self.out.push('(');
+                self.expr(cond, 0);
+                self.out.push(')');
+                self.body(then_body);
+                if !else_body.is_empty() {
+                    self.sp();
+                    self.out.push_str("else");
+                    self.body(else_body);
+                }
+                self.nl();
+            }
+            Stmt::While(cond, body) => {
+                self.pad();
+                self.out.push_str("while");
+                self.sp();
+                self.out.push('(');
+                self.expr(cond, 0);
+                self.out.push(')');
+                self.body(body);
+                self.nl();
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.pad();
+                self.out.push_str("for");
+                self.sp();
+                self.out.push('(');
+                match init.as_deref() {
+                    Some(Stmt::VarDecl(name, Some(e))) => {
+                        let _ = write!(self.out, "var {name}");
+                        if self.style == Style::Pretty {
+                            self.out.push_str(" = ");
+                        } else {
+                            self.out.push('=');
+                        }
+                        self.expr(e, 0);
+                    }
+                    Some(Stmt::VarDecl(name, None)) => {
+                        let _ = write!(self.out, "var {name}");
+                    }
+                    Some(Stmt::Expr(e)) => self.expr(e, 0),
+                    Some(Stmt::Block(decls)) => {
+                        // Multi-declaration `for (var a = 1, b = 2; …)`.
+                        let mut first = true;
+                        for d in decls {
+                            if let Stmt::VarDecl(name, init) = d {
+                                if first {
+                                    self.out.push_str("var ");
+                                    first = false;
+                                } else {
+                                    self.out.push(',');
+                                }
+                                let _ = write!(self.out, "{name}");
+                                if let Some(e) = init {
+                                    self.out.push('=');
+                                    self.expr(e, 0);
+                                }
+                            }
+                        }
+                    }
+                    Some(other) => panic!("unprintable for-init: {other:?}"),
+                    None => {}
+                }
+                self.out.push(';');
+                if let Some(c) = cond {
+                    self.sp();
+                    self.expr(c, 0);
+                }
+                self.out.push(';');
+                if let Some(s) = step {
+                    self.sp();
+                    self.expr(s, 0);
+                }
+                self.out.push(')');
+                self.body(body);
+                self.nl();
+            }
+            Stmt::Return(value) => {
+                self.pad();
+                self.out.push_str("return");
+                if let Some(e) = value {
+                    self.out.push(' ');
+                    self.expr(e, 0);
+                }
+                self.out.push(';');
+                self.nl();
+            }
+            Stmt::Break => {
+                self.pad();
+                self.out.push_str("break;");
+                self.nl();
+            }
+            Stmt::Continue => {
+                self.pad();
+                self.out.push_str("continue;");
+                self.nl();
+            }
+            Stmt::Func(f) => self.function(f),
+            Stmt::Block(stmts) => {
+                if stmts.is_empty() {
+                    return;
+                }
+                self.pad();
+                self.body(stmts);
+                self.nl();
+            }
+        }
+    }
+
+    /// Prints an expression. `prec` is the minimum precedence of the
+    /// surrounding context; sub-expressions with lower precedence get
+    /// parenthesised. We keep the scheme simple by parenthesising all nested
+    /// binary/logical/conditional/assignment expressions whose own
+    /// precedence is ambiguous.
+    fn expr(&mut self, expr: &Expr, prec: u8) {
+        match expr {
+            Expr::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 && *n != f64::NEG_INFINITY {
+                    let _ = write!(self.out, "{}", *n as i64);
+                } else {
+                    let _ = write!(self.out, "{n}");
+                }
+            }
+            Expr::Str(s) => {
+                self.out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => self.out.push_str("\\\""),
+                        '\\' => self.out.push_str("\\\\"),
+                        '\n' => self.out.push_str("\\n"),
+                        '\t' => self.out.push_str("\\t"),
+                        '\r' => self.out.push_str("\\r"),
+                        other => self.out.push(other),
+                    }
+                }
+                self.out.push('"');
+            }
+            Expr::Bool(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            Expr::Undefined => self.out.push_str("undefined"),
+            Expr::Null => self.out.push_str("null"),
+            Expr::This => self.out.push_str("this"),
+            Expr::Var(name) => self.out.push_str(name),
+            Expr::Array(items) => {
+                self.out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push(',');
+                        self.sp();
+                    }
+                    self.expr(item, 1);
+                }
+                self.out.push(']');
+            }
+            Expr::Object(props) => {
+                self.out.push('{');
+                for (i, (k, v)) in props.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push(',');
+                        self.sp();
+                    }
+                    let _ = write!(self.out, "{k}:");
+                    self.sp();
+                    self.expr(v, 1);
+                }
+                self.out.push('}');
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                let needs_parens = prec > 0;
+                if needs_parens {
+                    self.out.push('(');
+                }
+                self.expr(lhs, 1);
+                self.sp();
+                self.out.push_str(op.symbol());
+                self.sp();
+                self.expr(rhs, 1);
+                if needs_parens {
+                    self.out.push(')');
+                }
+            }
+            Expr::Unary(op, operand) => {
+                self.out.push_str(op.symbol());
+                // `-(-x)` and `+(+x)`: without parens the two signs lex
+                // as a single `--`/`++` token.
+                let clash = match op {
+                    UnOp::Neg => leading_char(operand) == Some('-'),
+                    UnOp::Plus => leading_char(operand) == Some('+'),
+                    _ => false,
+                };
+                if clash {
+                    self.out.push('(');
+                    self.expr(operand, 0);
+                    self.out.push(')');
+                } else {
+                    self.expr(operand, 2);
+                }
+            }
+            Expr::LogicalAnd(lhs, rhs) => {
+                let needs_parens = prec > 0;
+                if needs_parens {
+                    self.out.push('(');
+                }
+                self.expr(lhs, 1);
+                self.sp();
+                self.out.push_str("&&");
+                self.sp();
+                self.expr(rhs, 1);
+                if needs_parens {
+                    self.out.push(')');
+                }
+            }
+            Expr::LogicalOr(lhs, rhs) => {
+                let needs_parens = prec > 0;
+                if needs_parens {
+                    self.out.push('(');
+                }
+                self.expr(lhs, 1);
+                self.sp();
+                self.out.push_str("||");
+                self.sp();
+                self.expr(rhs, 1);
+                if needs_parens {
+                    self.out.push(')');
+                }
+            }
+            Expr::Conditional(cond, then, other) => {
+                let needs_parens = prec > 0;
+                if needs_parens {
+                    self.out.push('(');
+                }
+                self.expr(cond, 1);
+                self.sp();
+                self.out.push('?');
+                self.sp();
+                self.expr(then, 1);
+                self.sp();
+                self.out.push(':');
+                self.sp();
+                self.expr(other, 1);
+                if needs_parens {
+                    self.out.push(')');
+                }
+            }
+            Expr::Assign(target, value) => {
+                let needs_parens = prec > 0;
+                if needs_parens {
+                    self.out.push('(');
+                }
+                self.target(target);
+                self.sp();
+                self.out.push('=');
+                self.sp();
+                self.expr(value, 1);
+                if needs_parens {
+                    self.out.push(')');
+                }
+            }
+            Expr::Call(callee, args) => {
+                // Parenthesise non-trivial callees (not needed for
+                // var/prop/index chains).
+                let trivial = matches!(
+                    **callee,
+                    Expr::Var(_) | Expr::Prop(_, _) | Expr::Index(_, _) | Expr::Call(_, _)
+                );
+                if !trivial {
+                    self.out.push('(');
+                }
+                self.expr(callee, 2);
+                if !trivial {
+                    self.out.push(')');
+                }
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push(',');
+                        self.sp();
+                    }
+                    self.expr(a, 1);
+                }
+                self.out.push(')');
+            }
+            Expr::New(name, args) => {
+                let _ = write!(self.out, "new {name}(");
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push(',');
+                        self.sp();
+                    }
+                    self.expr(a, 1);
+                }
+                self.out.push(')');
+            }
+            Expr::Index(base, index) => {
+                self.base_expr(base);
+                self.out.push('[');
+                self.expr(index, 0);
+                self.out.push(']');
+            }
+            Expr::Prop(base, name) => {
+                self.base_expr(base);
+                let _ = write!(self.out, ".{name}");
+            }
+            Expr::IncDec {
+                target,
+                delta,
+                prefix,
+            } => {
+                let op = if *delta > 0 { "++" } else { "--" };
+                if *prefix {
+                    self.out.push_str(op);
+                    self.target(target);
+                } else {
+                    self.target(target);
+                    self.out.push_str(op);
+                }
+            }
+        }
+    }
+
+    /// Prints the base of a member access, parenthesising when required
+    /// (e.g. `(a + b).length`, `(3).toString`).
+    fn base_expr(&mut self, base: &Expr) {
+        let trivial = matches!(
+            base,
+            Expr::Var(_)
+                | Expr::Prop(_, _)
+                | Expr::Index(_, _)
+                | Expr::Call(_, _)
+                | Expr::This
+                | Expr::Array(_)
+                | Expr::Str(_)
+        );
+        if trivial {
+            self.expr(base, 2);
+        } else {
+            self.out.push('(');
+            self.expr(base, 0);
+            self.out.push(')');
+        }
+    }
+
+    fn target(&mut self, target: &Target) {
+        match target {
+            Target::Var(name) => self.out.push_str(name),
+            Target::Index(base, index) => {
+                self.base_expr(base);
+                self.out.push('[');
+                self.expr(index, 0);
+                self.out.push(']');
+            }
+            Target::Prop(base, name) => {
+                self.base_expr(base);
+                let _ = write!(self.out, ".{name}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn round_trip(src: &str) {
+        let p1 = parse_program(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        assert_eq!(p1, p2, "round trip mismatch for {src:?} -> {printed:?}");
+        // And the minified form parses to the same AST too.
+        let minified = print_program_with(&p1, Style::Minified);
+        let p3 = parse_program(&minified)
+            .unwrap_or_else(|e| panic!("reparse of minified {minified:?} failed: {e}"));
+        assert_eq!(p1, p3, "minified round trip mismatch for {src:?}");
+    }
+
+    #[test]
+    fn round_trips_declarations_and_loops() {
+        round_trip("var x = 1; var y; x = x + 2;");
+        round_trip("for (var i = 0; i < 10; i++) { s += i; }");
+        round_trip("while (a < b) { a = a * 2; }");
+        round_trip("for (;;) { break; }");
+    }
+
+    #[test]
+    fn round_trips_expressions() {
+        round_trip("x = (1 + 2) * 3 - 4 / 5 % 6;");
+        round_trip("x = a & b | c ^ d;");
+        round_trip("x = a << 2 >>> 1 >> 3;");
+        round_trip("x = a === b ? c : d !== e;");
+        round_trip("x = !a && ~b || -c;");
+        round_trip("x = typeof a;");
+    }
+
+    #[test]
+    fn round_trips_structures() {
+        round_trip("var o = {a: 1, b: [2, 3], c: {d: 4}}; o.a = o.b[1];");
+        round_trip("function C(n) { this.n = n; } var c = new C(5); c.n++;");
+        round_trip("function f() { function g() { return 1; } return g(); }");
+        round_trip("a.b[c + 1].d = e[f].g;");
+    }
+
+    #[test]
+    fn round_trips_strings() {
+        round_trip("var s = \"he said \\\"hi\\\"\\n\";");
+    }
+
+    #[test]
+    fn minified_has_no_newlines() {
+        let p = parse_program("var x = 1;\nvar y = 2;").unwrap();
+        let min = print_program_with(&p, Style::Minified);
+        assert!(!min.contains('\n'));
+        assert!(!min.contains("  "));
+    }
+
+    #[test]
+    fn parenthesises_number_base() {
+        let p = parse_program("x = (3).foo;").unwrap();
+        let printed = print_program(&p);
+        assert!(printed.contains("(3).foo"), "{printed}");
+        round_trip("x = (3).foo;");
+    }
+}

@@ -1,0 +1,228 @@
+//! Token definitions for the minijs lexer.
+
+use std::fmt;
+
+/// A half-open byte range into the original source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character of the token.
+    pub start: usize,
+    /// Byte offset one past the last character of the token.
+    pub end: usize,
+    /// 1-based line number of the token start (for diagnostics).
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a new span covering `start..end` on `line`.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals
+    /// Numeric literal (all minijs numbers are IEEE-754 doubles).
+    Number(f64),
+    /// String literal with escapes already resolved.
+    Str(String),
+    /// Identifier (variable, function, or property name).
+    Ident(String),
+
+    // Keywords
+    Var,
+    Function,
+    Return,
+    If,
+    Else,
+    While,
+    For,
+    Break,
+    Continue,
+    True,
+    False,
+    Undefined,
+    Null,
+    New,
+    This,
+    Typeof,
+    Delete,
+
+    // Punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semicolon,
+    Colon,
+    Dot,
+    Question,
+
+    // Operators
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    UshrAssign,
+    PlusPlus,
+    MinusMinus,
+    EqEq,
+    NotEq,
+    EqEqEq,
+    NotEqEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AmpAmp,
+    PipePipe,
+    Not,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Shl,
+    Shr,
+    Ushr,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Number(n) => write!(f, "number {n}"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            other => {
+                let text = match other {
+                    TokenKind::Var => "var",
+                    TokenKind::Function => "function",
+                    TokenKind::Return => "return",
+                    TokenKind::If => "if",
+                    TokenKind::Else => "else",
+                    TokenKind::While => "while",
+                    TokenKind::For => "for",
+                    TokenKind::Break => "break",
+                    TokenKind::Continue => "continue",
+                    TokenKind::True => "true",
+                    TokenKind::False => "false",
+                    TokenKind::Undefined => "undefined",
+                    TokenKind::Null => "null",
+                    TokenKind::New => "new",
+                    TokenKind::This => "this",
+                    TokenKind::Typeof => "typeof",
+                    TokenKind::Delete => "delete",
+                    TokenKind::LParen => "(",
+                    TokenKind::RParen => ")",
+                    TokenKind::LBrace => "{",
+                    TokenKind::RBrace => "}",
+                    TokenKind::LBracket => "[",
+                    TokenKind::RBracket => "]",
+                    TokenKind::Comma => ",",
+                    TokenKind::Semicolon => ";",
+                    TokenKind::Colon => ":",
+                    TokenKind::Dot => ".",
+                    TokenKind::Question => "?",
+                    TokenKind::Plus => "+",
+                    TokenKind::Minus => "-",
+                    TokenKind::Star => "*",
+                    TokenKind::Slash => "/",
+                    TokenKind::Percent => "%",
+                    TokenKind::Assign => "=",
+                    TokenKind::PlusAssign => "+=",
+                    TokenKind::MinusAssign => "-=",
+                    TokenKind::StarAssign => "*=",
+                    TokenKind::SlashAssign => "/=",
+                    TokenKind::PercentAssign => "%=",
+                    TokenKind::AmpAssign => "&=",
+                    TokenKind::PipeAssign => "|=",
+                    TokenKind::CaretAssign => "^=",
+                    TokenKind::ShlAssign => "<<=",
+                    TokenKind::ShrAssign => ">>=",
+                    TokenKind::UshrAssign => ">>>=",
+                    TokenKind::PlusPlus => "++",
+                    TokenKind::MinusMinus => "--",
+                    TokenKind::EqEq => "==",
+                    TokenKind::NotEq => "!=",
+                    TokenKind::EqEqEq => "===",
+                    TokenKind::NotEqEq => "!==",
+                    TokenKind::Lt => "<",
+                    TokenKind::Le => "<=",
+                    TokenKind::Gt => ">",
+                    TokenKind::Ge => ">=",
+                    TokenKind::AmpAmp => "&&",
+                    TokenKind::PipePipe => "||",
+                    TokenKind::Not => "!",
+                    TokenKind::Amp => "&",
+                    TokenKind::Pipe => "|",
+                    TokenKind::Caret => "^",
+                    TokenKind::Tilde => "~",
+                    TokenKind::Shl => "<<",
+                    TokenKind::Shr => ">>",
+                    TokenKind::Ushr => ">>>",
+                    TokenKind::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                f.write_str(text)
+            }
+        }
+    }
+}
+
+/// A lexical token: a [`TokenKind`] plus its [`Span`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token from its parts.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_punctuation() {
+        assert_eq!(TokenKind::Ushr.to_string(), ">>>");
+        assert_eq!(TokenKind::EqEqEq.to_string(), "===");
+        assert_eq!(TokenKind::Number(1.5).to_string(), "number 1.5");
+    }
+
+    #[test]
+    fn span_display_reports_line() {
+        assert_eq!(Span::new(0, 3, 7).to_string(), "line 7");
+    }
+}

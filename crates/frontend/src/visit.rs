@@ -1,0 +1,375 @@
+//! Structural visitors and in-place mutators over the minijs AST.
+//!
+//! These helpers power the source-to-source variant generators in
+//! `jitbull-vdc` (variable renaming, statement reordering, sub-function
+//! splitting) without each transform re-implementing tree traversal.
+
+use crate::ast::{Expr, FunctionDecl, Program, Stmt, Target};
+
+/// Applies `f` to every expression in the program, bottom-up, allowing
+/// in-place mutation.
+pub fn mutate_exprs(program: &mut Program, f: &mut impl FnMut(&mut Expr)) {
+    for func in &mut program.functions {
+        mutate_exprs_in_stmts(&mut func.body, f);
+    }
+    mutate_exprs_in_stmts(&mut program.top_level, f);
+}
+
+/// Applies `f` to every expression in a statement list, bottom-up.
+pub fn mutate_exprs_in_stmts(stmts: &mut [Stmt], f: &mut impl FnMut(&mut Expr)) {
+    for stmt in stmts {
+        mutate_exprs_in_stmt(stmt, f);
+    }
+}
+
+fn mutate_exprs_in_stmt(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
+    match stmt {
+        Stmt::VarDecl(_, Some(e)) => mutate_expr(e, f),
+        Stmt::VarDecl(_, None) => {}
+        Stmt::Expr(e) => mutate_expr(e, f),
+        Stmt::If(cond, then_body, else_body) => {
+            mutate_expr(cond, f);
+            mutate_exprs_in_stmts(then_body, f);
+            mutate_exprs_in_stmts(else_body, f);
+        }
+        Stmt::While(cond, body) => {
+            mutate_expr(cond, f);
+            mutate_exprs_in_stmts(body, f);
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            if let Some(init) = init {
+                mutate_exprs_in_stmt(init, f);
+            }
+            if let Some(cond) = cond {
+                mutate_expr(cond, f);
+            }
+            if let Some(step) = step {
+                mutate_expr(step, f);
+            }
+            mutate_exprs_in_stmts(body, f);
+        }
+        Stmt::Return(Some(e)) => mutate_expr(e, f),
+        Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        Stmt::Func(func) => mutate_exprs_in_stmts(&mut func.body, f),
+        Stmt::Block(stmts) => mutate_exprs_in_stmts(stmts, f),
+    }
+}
+
+fn mutate_target(target: &mut Target, f: &mut impl FnMut(&mut Expr)) {
+    match target {
+        Target::Var(_) => {}
+        Target::Index(base, index) => {
+            mutate_expr(base, f);
+            mutate_expr(index, f);
+        }
+        Target::Prop(base, _) => mutate_expr(base, f),
+    }
+}
+
+/// Applies `f` to an expression tree, bottom-up (children before parents).
+pub fn mutate_expr(expr: &mut Expr, f: &mut impl FnMut(&mut Expr)) {
+    match expr {
+        Expr::Number(_)
+        | Expr::Str(_)
+        | Expr::Bool(_)
+        | Expr::Undefined
+        | Expr::Null
+        | Expr::This
+        | Expr::Var(_) => {}
+        Expr::Array(items) => {
+            for item in items {
+                mutate_expr(item, f);
+            }
+        }
+        Expr::Object(props) => {
+            for (_, value) in props {
+                mutate_expr(value, f);
+            }
+        }
+        Expr::Binary(_, lhs, rhs) => {
+            mutate_expr(lhs, f);
+            mutate_expr(rhs, f);
+        }
+        Expr::Unary(_, operand) => mutate_expr(operand, f),
+        Expr::LogicalAnd(lhs, rhs) | Expr::LogicalOr(lhs, rhs) => {
+            mutate_expr(lhs, f);
+            mutate_expr(rhs, f);
+        }
+        Expr::Conditional(cond, then, other) => {
+            mutate_expr(cond, f);
+            mutate_expr(then, f);
+            mutate_expr(other, f);
+        }
+        Expr::Assign(target, value) => {
+            mutate_target(target, f);
+            mutate_expr(value, f);
+        }
+        Expr::Call(callee, args) => {
+            mutate_expr(callee, f);
+            for a in args {
+                mutate_expr(a, f);
+            }
+        }
+        Expr::New(_, args) => {
+            for a in args {
+                mutate_expr(a, f);
+            }
+        }
+        Expr::Index(base, index) => {
+            mutate_expr(base, f);
+            mutate_expr(index, f);
+        }
+        Expr::Prop(base, _) => mutate_expr(base, f),
+        Expr::IncDec { target, .. } => mutate_target(target, f),
+    }
+    f(expr);
+}
+
+/// Collects the set of identifiers the expression *reads* (variable
+/// references, excluding property names).
+pub fn collect_var_reads(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Var(name) => out.push(name.clone()),
+        Expr::Number(_)
+        | Expr::Str(_)
+        | Expr::Bool(_)
+        | Expr::Undefined
+        | Expr::Null
+        | Expr::This => {}
+        Expr::Array(items) => {
+            for item in items {
+                collect_var_reads(item, out);
+            }
+        }
+        Expr::Object(props) => {
+            for (_, value) in props {
+                collect_var_reads(value, out);
+            }
+        }
+        Expr::Binary(_, lhs, rhs) => {
+            collect_var_reads(lhs, out);
+            collect_var_reads(rhs, out);
+        }
+        Expr::Unary(_, operand) => collect_var_reads(operand, out),
+        Expr::LogicalAnd(lhs, rhs) | Expr::LogicalOr(lhs, rhs) => {
+            collect_var_reads(lhs, out);
+            collect_var_reads(rhs, out);
+        }
+        Expr::Conditional(cond, then, other) => {
+            collect_var_reads(cond, out);
+            collect_var_reads(then, out);
+            collect_var_reads(other, out);
+        }
+        Expr::Assign(target, value) => {
+            collect_target_reads(target, out);
+            collect_var_reads(value, out);
+        }
+        Expr::Call(callee, args) => {
+            collect_var_reads(callee, out);
+            for a in args {
+                collect_var_reads(a, out);
+            }
+        }
+        Expr::New(name, args) => {
+            out.push(name.clone());
+            for a in args {
+                collect_var_reads(a, out);
+            }
+        }
+        Expr::Index(base, index) => {
+            collect_var_reads(base, out);
+            collect_var_reads(index, out);
+        }
+        Expr::Prop(base, _) => collect_var_reads(base, out),
+        Expr::IncDec { target, .. } => collect_target_reads(target, out),
+    }
+}
+
+fn collect_target_reads(target: &Target, out: &mut Vec<String>) {
+    match target {
+        Target::Var(name) => out.push(name.clone()),
+        Target::Index(base, index) => {
+            collect_var_reads(base, out);
+            collect_var_reads(index, out);
+        }
+        Target::Prop(base, _) => collect_var_reads(base, out),
+    }
+}
+
+/// Collects the names an expression *writes* (assignment / inc-dec roots
+/// that are plain variables).
+pub fn collect_var_writes(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Assign(Target::Var(name), value) => {
+            out.push(name.clone());
+            collect_var_writes(value, out);
+        }
+        Expr::IncDec {
+            target: Target::Var(name),
+            ..
+        } => out.push(name.clone()),
+        Expr::Assign(_, value) => collect_var_writes(value, out),
+        Expr::Binary(_, lhs, rhs) | Expr::LogicalAnd(lhs, rhs) | Expr::LogicalOr(lhs, rhs) => {
+            collect_var_writes(lhs, out);
+            collect_var_writes(rhs, out);
+        }
+        Expr::Unary(_, operand) => collect_var_writes(operand, out),
+        Expr::Conditional(cond, then, other) => {
+            collect_var_writes(cond, out);
+            collect_var_writes(then, out);
+            collect_var_writes(other, out);
+        }
+        Expr::Call(callee, args) => {
+            collect_var_writes(callee, out);
+            for a in args {
+                collect_var_writes(a, out);
+            }
+        }
+        Expr::New(_, args) => {
+            for a in args {
+                collect_var_writes(a, out);
+            }
+        }
+        Expr::Array(items) => {
+            for i in items {
+                collect_var_writes(i, out);
+            }
+        }
+        Expr::Object(props) => {
+            for (_, v) in props {
+                collect_var_writes(v, out);
+            }
+        }
+        Expr::Index(base, index) => {
+            collect_var_writes(base, out);
+            collect_var_writes(index, out);
+        }
+        Expr::Prop(base, _) => collect_var_writes(base, out),
+        _ => {}
+    }
+}
+
+/// Whether a statement contains any call, `new`, property/index write, or
+/// inc/dec of a non-local — i.e. anything with side effects beyond writing
+/// plain variables. Used by the reordering variant generator to decide
+/// which adjacent statements commute.
+pub fn stmt_has_heap_effects(stmt: &Stmt) -> bool {
+    let mut found = false;
+    let mut check = |e: &Expr| {
+        if matches!(
+            e,
+            Expr::Call(_, _)
+                | Expr::New(_, _)
+                | Expr::Assign(Target::Index(_, _), _)
+                | Expr::Assign(Target::Prop(_, _), _)
+                | Expr::IncDec {
+                    target: Target::Index(_, _),
+                    ..
+                }
+                | Expr::IncDec {
+                    target: Target::Prop(_, _),
+                    ..
+                }
+        ) {
+            found = true;
+        }
+    };
+    // Reuse the mutation walker in read-only fashion via a clone.
+    let mut cloned = stmt.clone();
+    mutate_exprs_in_stmt(&mut cloned, &mut |e| check(e));
+    found
+}
+
+/// All functions in the program, including nested ones, in declaration
+/// order.
+pub fn all_functions(program: &Program) -> Vec<&FunctionDecl> {
+    let mut out: Vec<&FunctionDecl> = Vec::new();
+    fn walk_stmts<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a FunctionDecl>) {
+        for s in stmts {
+            match s {
+                Stmt::Func(f) => {
+                    out.push(f);
+                    walk_stmts(&f.body, out);
+                }
+                Stmt::If(_, a, b) => {
+                    walk_stmts(a, out);
+                    walk_stmts(b, out);
+                }
+                Stmt::While(_, body) => walk_stmts(body, out),
+                Stmt::For { body, init, .. } => {
+                    if let Some(i) = init {
+                        walk_stmts(std::slice::from_ref(i), out);
+                    }
+                    walk_stmts(body, out);
+                }
+                Stmt::Block(body) => walk_stmts(body, out),
+                _ => {}
+            }
+        }
+    }
+    for f in &program.functions {
+        out.push(f);
+        walk_stmts(&f.body, &mut out);
+    }
+    walk_stmts(&program.top_level, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    #[test]
+    fn mutate_renames_variables() {
+        let mut p = parse_program("var abc = 1; abc = abc + 2;").unwrap();
+        mutate_exprs(&mut p, &mut |e| {
+            if let Expr::Var(name) = e {
+                if name == "abc" {
+                    *name = "z".to_owned();
+                }
+            }
+        });
+        let printed = crate::print_program(&p);
+        assert!(printed.contains("z + 2"), "{printed}");
+    }
+
+    #[test]
+    fn collects_reads_and_writes() {
+        let p = parse_program("x = a + b[c];").unwrap();
+        let expr = match &p.top_level[0] {
+            crate::ast::Stmt::Expr(e) => e,
+            _ => unreachable!(),
+        };
+        let mut reads = Vec::new();
+        collect_var_reads(expr, &mut reads);
+        assert!(reads.contains(&"a".to_owned()));
+        assert!(reads.contains(&"b".to_owned()));
+        assert!(reads.contains(&"c".to_owned()));
+        let mut writes = Vec::new();
+        collect_var_writes(expr, &mut writes);
+        assert_eq!(writes, vec!["x"]);
+    }
+
+    #[test]
+    fn heap_effects_detection() {
+        let p = parse_program("a = 1; b[0] = 2; f(); o.p = 3;").unwrap();
+        assert!(!stmt_has_heap_effects(&p.top_level[0]));
+        assert!(stmt_has_heap_effects(&p.top_level[1]));
+        assert!(stmt_has_heap_effects(&p.top_level[2]));
+        assert!(stmt_has_heap_effects(&p.top_level[3]));
+    }
+
+    #[test]
+    fn finds_nested_functions() {
+        let p =
+            parse_program("function a() { function b() {} } function c() {} if (x) {} ").unwrap();
+        let names: Vec<_> = all_functions(&p).iter().map(|f| f.name.clone()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Property test: for any well-formed AST, `parse(print(ast)) == ast`
+//! in both pretty and minified styles. This is what lets the variant
+//! generators treat print-then-reparse as a lossless pipeline.
+
+use proptest::prelude::*;
+
+use jitbull_frontend::ast::{BinOp, Expr, FunctionDecl, Program, Stmt, Target, UnOp};
+use jitbull_frontend::printer::{print_program_with, Style};
+use jitbull_frontend::{parse_program, print_program};
+
+const KEYWORDS: &[&str] = &[
+    "var",
+    "let",
+    "const",
+    "function",
+    "return",
+    "if",
+    "else",
+    "while",
+    "for",
+    "break",
+    "continue",
+    "true",
+    "false",
+    "undefined",
+    "null",
+    "new",
+    "this",
+    "typeof",
+    "delete",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,5}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
+}
+
+/// Property keys that are printable bare (identifier-shaped).
+fn prop_name() -> impl Strategy<Value = String> {
+    ident()
+}
+
+fn number() -> impl Strategy<Value = f64> {
+    // Non-negative finite numbers: JS has no negative literals (a leading
+    // minus parses as unary negation), and NaN has no literal at all.
+    prop_oneof![
+        (0u32..1000).prop_map(|n| n as f64),
+        (0.0f64..1e6).prop_filter("finite", |n| n.is_finite()),
+    ]
+}
+
+fn string_lit() -> impl Strategy<Value = String> {
+    // Printable ASCII incl. the characters the escaper handles.
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range('a', 'z').prop_map(|c| c),
+            Just('"'),
+            Just('\\'),
+            Just('\n'),
+            Just('\t'),
+            Just(' '),
+        ],
+        0..8,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Mod),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::StrictEq),
+        Just(BinOp::StrictNe),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::BitAnd),
+        Just(BinOp::BitOr),
+        Just(BinOp::BitXor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+        Just(BinOp::Ushr),
+    ]
+}
+
+fn unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![
+        Just(UnOp::Neg),
+        Just(UnOp::Not),
+        Just(UnOp::BitNot),
+        Just(UnOp::Plus),
+        Just(UnOp::Typeof),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        number().prop_map(Expr::Number),
+        string_lit().prop_map(Expr::Str),
+        any::<bool>().prop_map(Expr::Bool),
+        Just(Expr::Undefined),
+        Just(Expr::Null),
+        Just(Expr::This),
+        ident().prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        let target = prop_oneof![
+            ident().prop_map(Target::Var),
+            (inner.clone(), inner.clone())
+                .prop_map(|(b, i)| Target::Index(Box::new(b), Box::new(i))),
+            (inner.clone(), prop_name()).prop_map(|(b, n)| Target::Prop(Box::new(b), n)),
+        ];
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Expr::Array),
+            proptest::collection::vec((prop_name(), inner.clone()), 0..3).prop_map(Expr::Object),
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (unop(), inner.clone()).prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::LogicalAnd(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::LogicalOr(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, a, b)| { Expr::Conditional(Box::new(c), Box::new(a), Box::new(b)) }),
+            (target.clone(), inner.clone()).prop_map(|(t, v)| Expr::Assign(t, Box::new(v))),
+            (
+                inner.clone(),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(callee, args)| Expr::Call(Box::new(callee), args)),
+            (ident(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(n, args)| Expr::New(n, args)),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
+            (inner.clone(), prop_name()).prop_map(|(b, n)| Expr::Prop(Box::new(b), n)),
+            (ident(), any::<bool>(), any::<bool>()).prop_map(|(n, pre, inc)| Expr::IncDec {
+                target: Target::Var(n),
+                delta: if inc { 1 } else { -1 },
+                prefix: pre,
+            }),
+        ]
+    })
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        (ident(), proptest::option::of(expr())).prop_map(|(n, init)| Stmt::VarDecl(n, init)),
+        expr().prop_map(Stmt::Expr),
+        proptest::option::of(expr()).prop_map(Stmt::Return),
+        Just(Stmt::Break),
+        Just(Stmt::Continue),
+    ];
+    simple.prop_recursive(2, 16, 3, |inner| {
+        prop_oneof![
+            (
+                expr(),
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, a, b)| Stmt::If(c, a, b)),
+            (expr(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(c, b)| Stmt::While(c, b)),
+            (
+                proptest::option::of((ident(), expr())),
+                proptest::option::of(expr()),
+                proptest::option::of(expr()),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(init, cond, step, body)| Stmt::For {
+                    init: init.map(|(n, e)| Box::new(Stmt::VarDecl(n, Some(e)))),
+                    cond,
+                    step,
+                    body,
+                }),
+            proptest::collection::vec(inner, 1..3).prop_map(Stmt::Block),
+        ]
+    })
+}
+
+fn program() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(
+            (
+                ident(),
+                proptest::collection::vec(ident(), 0..3),
+                proptest::collection::vec(stmt(), 0..4),
+            ),
+            0..3,
+        ),
+        proptest::collection::vec(stmt(), 0..4),
+    )
+        .prop_map(|(funcs, top_level)| Program {
+            functions: funcs
+                .into_iter()
+                .map(|(name, params, body)| FunctionDecl { name, params, body })
+                .collect(),
+            top_level,
+        })
+}
+
+/// Collapses the parse-level representation differences the printer
+/// cannot distinguish: `Stmt::Block(vec![])` prints as nothing and
+/// single-statement bodies keep their braces, so empty blocks are
+/// dropped on both sides before comparison.
+fn normalize(p: &Program) -> Program {
+    fn norm_stmts(stmts: &[Stmt]) -> Vec<Stmt> {
+        stmts
+            .iter()
+            .filter(|s| !matches!(s, Stmt::Block(b) if b.is_empty()))
+            .map(norm_stmt)
+            .collect()
+    }
+    fn norm_stmt(s: &Stmt) -> Stmt {
+        match s {
+            Stmt::If(c, a, b) => Stmt::If(c.clone(), norm_stmts(a), norm_stmts(b)),
+            Stmt::While(c, b) => Stmt::While(c.clone(), norm_stmts(b)),
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => Stmt::For {
+                init: init.clone(),
+                cond: cond.clone(),
+                step: step.clone(),
+                body: norm_stmts(body),
+            },
+            Stmt::Block(b) => Stmt::Block(norm_stmts(b)),
+            Stmt::Func(f) => Stmt::Func(FunctionDecl {
+                name: f.name.clone(),
+                params: f.params.clone(),
+                body: norm_stmts(&f.body),
+            }),
+            other => other.clone(),
+        }
+    }
+    Program {
+        functions: p
+            .functions
+            .iter()
+            .map(|f| FunctionDecl {
+                name: f.name.clone(),
+                params: f.params.clone(),
+                body: norm_stmts(&f.body),
+            })
+            .collect(),
+        top_level: norm_stmts(&p.top_level),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn pretty_print_round_trips(p in program()) {
+        let expected = normalize(&p);
+        let printed = print_program(&p);
+        let reparsed = parse_program(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        prop_assert_eq!(&normalize(&reparsed), &expected, "printed:\n{}", printed);
+    }
+
+    #[test]
+    fn minified_print_round_trips(p in program()) {
+        let expected = normalize(&p);
+        let printed = print_program_with(&p, Style::Minified);
+        let reparsed = parse_program(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
+        prop_assert_eq!(&normalize(&reparsed), &expected, "printed:\n{}", printed);
+    }
+}

@@ -1,0 +1,169 @@
+//! Seeded generation of JIT-stressing minijs programs.
+//!
+//! Each program declares one hot function over `(arr, i, v)`, warms it
+//! past the optimizing-JIT threshold with tame arguments, then makes one
+//! *outlier* call with a hostile index — the classic shape of real JIT
+//! proof-of-concepts (and of fuzzer corpora distilled from them). The
+//! statement pool mixes the dangerous shapes the modeled CVEs key on
+//! (length manipulation, `pop`/`push`, masked/offset/induction indexes)
+//! with benign arithmetic filler.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator knobs.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// RNG seed (campaigns sweep this).
+    pub seed: u64,
+    /// Warm-up iterations (should exceed the engine's Ion threshold).
+    pub warmup: u32,
+    /// Statements in the hot function body.
+    pub body_len: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            seed: 0,
+            warmup: 20,
+            body_len: 5,
+        }
+    }
+}
+
+/// Generates one program.
+pub fn generate(config: &GenConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut body = String::new();
+    body.push_str("  var t = 0;\n");
+    for k in 0..config.body_len {
+        body.push_str(&statement(&mut rng, k));
+    }
+    body.push_str("  return t;\n");
+    let size = *[8usize, 12, 16]
+        .get(rng.gen_range(0..3))
+        .expect("size table");
+    let hostile: i64 = [64, 900, 5000, 100000][rng.gen_range(0..4)];
+    let tame_i = rng.gen_range(0..4);
+    format!(
+        "function hot(arr, i, v) {{\n{body}}}\n\
+         var data = new Array({size});\n\
+         for (var s = 0; s < {size}; s++) {{ data[s] = s; }}\n\
+         var sink = 0;\n\
+         for (var w = 0; w < {warmup}; w++) {{ sink = hot(data, {tame_i}, w); }}\n\
+         sink = hot(data, {hostile}, 7);\n\
+         print(sink);\n",
+        warmup = config.warmup,
+    )
+}
+
+fn index_expr(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..5) {
+        0 => "i".to_string(),
+        1 => format!("i & {}", [7, 15, 255, 1023][rng.gen_range(0..4)]),
+        2 => format!("i + {}", rng.gen_range(1..9)),
+        3 => "k".to_string(), // loop induction (only valid inside loops)
+        _ => format!("{}", rng.gen_range(0..8)),
+    }
+}
+
+fn statement(rng: &mut StdRng, n: usize) -> String {
+    match rng.gen_range(0..10) {
+        // Dangerous shapes.
+        0 => format!("  arr.length = {};\n", [4usize, 8, 16][rng.gen_range(0..3)]),
+        1 => "  arr.pop();\n".to_string(),
+        2 => "  arr.push(v);\n".to_string(),
+        3 => {
+            let idx = loop {
+                let e = index_expr(rng);
+                if e != "k" {
+                    break e;
+                }
+            };
+            format!("  arr[{idx}] = v;\n")
+        }
+        4 => {
+            let idx = loop {
+                let e = index_expr(rng);
+                if e != "k" {
+                    break e;
+                }
+            };
+            format!("  t = t + arr[{idx}];\n")
+        }
+        5 => {
+            // A loop with induction reads and an inner call or not.
+            let call = if rng.gen_bool(0.5) {
+                "    t = t + helper(v);\n"
+            } else {
+                ""
+            };
+            format!(
+                "  for (var k{n} = 0; k{n} < 4; k{n}++) {{\n{call}    t = t + arr[k{n}];\n  }}\n"
+            )
+        }
+        // Benign filler.
+        6 => format!("  t = (t + v * {}) & 65535;\n", rng.gen_range(2..9)),
+        7 => format!("  if (t % {} == 0) {{ t = t + 1; }}\n", rng.gen_range(2..5)),
+        8 => format!(
+            "  var x{n} = Math.floor(t / {});\n  t = t + x{n};\n",
+            rng.gen_range(2..5)
+        ),
+        _ => format!("  t = t ^ (i << {});\n", rng.gen_range(1..4)),
+    }
+}
+
+/// The helper callee some generated loops invoke (appended once per
+/// program by the harness when referenced).
+pub const HELPER: &str = "function helper(x) { return (x * 3 + 1) & 255; }\n";
+
+/// Generates a complete, self-contained program (helper included when
+/// needed).
+pub fn generate_complete(config: &GenConfig) -> String {
+    let body = generate(config);
+    if body.contains("helper(") {
+        format!("{HELPER}{body}")
+    } else {
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitbull_frontend::parse_program;
+
+    #[test]
+    fn generated_programs_parse() {
+        for seed in 0..200 {
+            let src = generate_complete(&GenConfig {
+                seed,
+                ..Default::default()
+            });
+            parse_program(&src).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = GenConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        assert_eq!(generate_complete(&c), generate_complete(&c));
+    }
+
+    #[test]
+    fn seeds_produce_diverse_programs() {
+        let a = generate_complete(&GenConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate_complete(&GenConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(a, b);
+    }
+}

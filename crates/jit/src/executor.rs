@@ -1,0 +1,521 @@
+//! The optimizing-tier executor: runs optimized MIR directly against the
+//! VM runtime at 1 cycle per instruction.
+//!
+//! ## Guarded vs raw memory accesses
+//!
+//! This is where the vulnerability models become *exploitable* rather than
+//! cosmetic. A `loadelement`/`storeelement` consults its operands'
+//! defining instructions:
+//!
+//! * if the index flows through a live `boundscheck`, the access takes the
+//!   **raw** fast path when the check passed and the **safe** (interpreter
+//!   semantics) path when it failed — exactly as compiled fast paths and
+//!   bailouts behave;
+//! * if the bounds check was removed (legitimately by a sound pass, or
+//!   incorrectly by a modeled CVE), the access is raw and *unchecked*: an
+//!   out-of-range index reads or writes neighbouring heap cells;
+//! * if the base's `unbox:array` guard was removed and a number flows in,
+//!   the number is dereferenced as a heap address (type confusion).
+
+use std::rc::Rc;
+
+use jitbull_mir::{CmpOp, ConstVal, InstrId, MOpcode, MirFunction};
+use jitbull_vm::bytecode::Module;
+use jitbull_vm::interp::{eval_binop, eval_intrinsic, eval_math, eval_unop, invoke_value};
+use jitbull_vm::runtime::{Runtime, ION_COST};
+use jitbull_vm::{Dispatcher, Value, VmError};
+
+use jitbull_frontend::ast::{BinOp, UnOp};
+
+/// A compiled function ready for the optimizing tier: the optimized MIR
+/// plus a dense opcode index for guard lookups.
+#[derive(Debug)]
+pub struct CompiledCode {
+    /// The optimized MIR (ids are dense; the pipeline ends with a
+    /// mandatory renumber).
+    pub mir: MirFunction,
+    guards: Vec<GuardKind>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum GuardKind {
+    None,
+    BoundsCheck,
+    UnboxArray,
+    OtherGuard,
+}
+
+impl CompiledCode {
+    /// Indexes the function for execution.
+    pub fn new(mir: MirFunction) -> Self {
+        let mut guards = vec![GuardKind::None; mir.id_bound() as usize];
+        for b in &mir.blocks {
+            for i in b.iter_all() {
+                let kind = match &i.op {
+                    MOpcode::BoundsCheck => GuardKind::BoundsCheck,
+                    MOpcode::Unbox(jitbull_mir::TypeHint::Array) => GuardKind::UnboxArray,
+                    op if op.is_guard() => GuardKind::OtherGuard,
+                    _ => GuardKind::None,
+                };
+                if (i.id.0 as usize) < guards.len() {
+                    guards[i.id.0 as usize] = kind;
+                }
+            }
+        }
+        CompiledCode { mir, guards }
+    }
+
+    fn guard_kind(&self, id: InstrId) -> GuardKind {
+        self.guards
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or(GuardKind::None)
+    }
+}
+
+fn cmp_binop(c: CmpOp) -> BinOp {
+    match c {
+        CmpOp::Eq => BinOp::Eq,
+        CmpOp::Ne => BinOp::Ne,
+        CmpOp::StrictEq => BinOp::StrictEq,
+        CmpOp::StrictNe => BinOp::StrictNe,
+        CmpOp::Lt => BinOp::Lt,
+        CmpOp::Le => BinOp::Le,
+        CmpOp::Gt => BinOp::Gt,
+        CmpOp::Ge => BinOp::Ge,
+    }
+}
+
+fn const_value(c: &ConstVal) -> Value {
+    match c {
+        ConstVal::Number(n) => Value::Number(*n),
+        ConstVal::Str(s) => Value::Str(s.clone()),
+        ConstVal::Bool(b) => Value::Bool(*b),
+        ConstVal::Undefined => Value::Undefined,
+        ConstVal::Null => Value::Null,
+        ConstVal::Func(f) => Value::Function(*f),
+    }
+}
+
+/// Executes one invocation of optimized code.
+///
+/// # Errors
+///
+/// Propagates [`VmError`]s, including crashes from wild raw accesses.
+pub fn run(
+    code: &CompiledCode,
+    rt: &mut Runtime,
+    module: &Module,
+    this: Value,
+    args: &[Value],
+    dispatcher: &mut dyn Dispatcher,
+) -> Result<Value, VmError> {
+    rt.enter_call()?;
+    let result = run_inner(code, rt, module, this, args, dispatcher);
+    rt.exit_call();
+    result
+}
+
+fn run_inner(
+    code: &CompiledCode,
+    rt: &mut Runtime,
+    module: &Module,
+    this: Value,
+    args: &[Value],
+    dispatcher: &mut dyn Dispatcher,
+) -> Result<Value, VmError> {
+    let bound = code.mir.id_bound() as usize;
+    let mut values: Vec<Value> = vec![Value::Undefined; bound];
+    let mut check_ok: Vec<bool> = vec![true; bound];
+    let mut cur = jitbull_mir::BlockId(0);
+    let mut prev: Option<jitbull_mir::BlockId> = None;
+
+    'blocks: loop {
+        let block = code.mir.block(cur);
+        // Resolve phis for the edge we arrived on (two-phase so that phis
+        // reading other phis see pre-edge values).
+        if let Some(p) = prev {
+            if !block.phis.is_empty() {
+                let j = block
+                    .phi_preds
+                    .iter()
+                    .position(|&pp| pp == p)
+                    .ok_or_else(|| VmError::Type(format!("phi edge {p} -> {cur} missing")))?;
+                let staged: Vec<(InstrId, Value)> = block
+                    .phis
+                    .iter()
+                    .map(|phi| (phi.id, values[phi.operands[j].0 as usize].clone()))
+                    .collect();
+                for (id, v) in staged {
+                    rt.consume_op(ION_COST)?;
+                    values[id.0 as usize] = v;
+                }
+            }
+        }
+        for i in &block.instrs {
+            rt.consume_op(ION_COST)?;
+            macro_rules! val {
+                ($id:expr) => {
+                    values[$id.0 as usize].clone()
+                };
+            }
+            macro_rules! set {
+                ($v:expr) => {
+                    values[i.id.0 as usize] = $v
+                };
+            }
+            match &i.op {
+                MOpcode::Parameter(k) => {
+                    set!(args.get(*k as usize).cloned().unwrap_or(Value::Undefined))
+                }
+                MOpcode::This => set!(this.clone()),
+                MOpcode::Constant(c) => set!(const_value(c)),
+                MOpcode::Phi => {
+                    return Err(VmError::Type("phi outside phi list".into()));
+                }
+                MOpcode::Goto(b) => {
+                    prev = Some(cur);
+                    cur = *b;
+                    continue 'blocks;
+                }
+                MOpcode::Test {
+                    then_block,
+                    else_block,
+                } => {
+                    prev = Some(cur);
+                    cur = if val!(i.operands[0]).truthy() {
+                        *then_block
+                    } else {
+                        *else_block
+                    };
+                    continue 'blocks;
+                }
+                MOpcode::Return => return Ok(val!(i.operands[0])),
+                MOpcode::Add
+                | MOpcode::Sub
+                | MOpcode::Mul
+                | MOpcode::Div
+                | MOpcode::Mod
+                | MOpcode::BitAnd
+                | MOpcode::BitOr
+                | MOpcode::BitXor
+                | MOpcode::Lsh
+                | MOpcode::Rsh
+                | MOpcode::Ursh => {
+                    let op = match i.op {
+                        MOpcode::Add => BinOp::Add,
+                        MOpcode::Sub => BinOp::Sub,
+                        MOpcode::Mul => BinOp::Mul,
+                        MOpcode::Div => BinOp::Div,
+                        MOpcode::Mod => BinOp::Mod,
+                        MOpcode::BitAnd => BinOp::BitAnd,
+                        MOpcode::BitOr => BinOp::BitOr,
+                        MOpcode::BitXor => BinOp::BitXor,
+                        MOpcode::Lsh => BinOp::Shl,
+                        MOpcode::Rsh => BinOp::Shr,
+                        _ => BinOp::Ushr,
+                    };
+                    set!(eval_binop(op, &val!(i.operands[0]), &val!(i.operands[1])));
+                }
+                MOpcode::Compare(c) => {
+                    set!(eval_binop(
+                        cmp_binop(*c),
+                        &val!(i.operands[0]),
+                        &val!(i.operands[1])
+                    ));
+                }
+                MOpcode::BitNot => set!(eval_unop(UnOp::BitNot, &val!(i.operands[0]))),
+                MOpcode::Neg => set!(eval_unop(UnOp::Neg, &val!(i.operands[0]))),
+                MOpcode::Not => set!(eval_unop(UnOp::Not, &val!(i.operands[0]))),
+                MOpcode::ToNumber => set!(eval_unop(UnOp::Plus, &val!(i.operands[0]))),
+                MOpcode::TypeOf => set!(eval_unop(UnOp::Typeof, &val!(i.operands[0]))),
+                MOpcode::Call(_) => {
+                    let callee = val!(i.operands[0]);
+                    let call_args: Vec<Value> = i.operands[1..].iter().map(|o| val!(o)).collect();
+                    set!(invoke_value(
+                        rt,
+                        module,
+                        callee,
+                        Value::Undefined,
+                        call_args,
+                        dispatcher
+                    )?);
+                }
+                MOpcode::CallMethod(_) => {
+                    let base = val!(i.operands[0]);
+                    let callee = val!(i.operands[1]);
+                    let call_args: Vec<Value> = i.operands[2..].iter().map(|o| val!(o)).collect();
+                    set!(invoke_value(
+                        rt, module, callee, base, call_args, dispatcher
+                    )?);
+                }
+                MOpcode::New(_) => {
+                    let callee = val!(i.operands[0]);
+                    let call_args: Vec<Value> = i.operands[1..].iter().map(|o| val!(o)).collect();
+                    let obj = Value::Object(rt.alloc_object());
+                    invoke_value(rt, module, callee, obj.clone(), call_args, dispatcher)?;
+                    set!(obj);
+                }
+                MOpcode::NewArray(_) => {
+                    let items: Vec<Value> = i.operands.iter().map(|o| val!(o)).collect();
+                    set!(Value::Array(rt.heap.alloc_array_from(items)));
+                }
+                MOpcode::NewArrayN => {
+                    let n = val!(i.operands[0]).to_number();
+                    let n = if n.is_finite() && n >= 0.0 {
+                        n as usize
+                    } else {
+                        0
+                    };
+                    set!(Value::Array(rt.heap.alloc_array(n, n, Value::Undefined)));
+                }
+                MOpcode::NewObject => set!(Value::Object(rt.alloc_object())),
+                MOpcode::BoundsCheck => {
+                    let idx = val!(i.operands[0]).to_number();
+                    let len = val!(i.operands[1]).to_number();
+                    check_ok[i.id.0 as usize] =
+                        idx >= 0.0 && idx.fract() == 0.0 && idx < len && idx.is_finite();
+                    set!(Value::Number(idx));
+                }
+                MOpcode::TypeGuard(hint) | MOpcode::Unbox(hint) => {
+                    let v = val!(i.operands[0]);
+                    let ok = match hint {
+                        jitbull_mir::TypeHint::Number => matches!(v, Value::Number(_)),
+                        jitbull_mir::TypeHint::Int32 => {
+                            matches!(v, Value::Number(n) if n.fract() == 0.0)
+                        }
+                        jitbull_mir::TypeHint::Bool => matches!(v, Value::Bool(_)),
+                        jitbull_mir::TypeHint::Str => matches!(v, Value::Str(_)),
+                        jitbull_mir::TypeHint::Array => matches!(v, Value::Array(_)),
+                        jitbull_mir::TypeHint::Object => matches!(v, Value::Object(_)),
+                    };
+                    check_ok[i.id.0 as usize] = ok;
+                    set!(v);
+                }
+                MOpcode::InitializedLength | MOpcode::ArrayLength => {
+                    let base = val!(i.operands[0]);
+                    let out = match &base {
+                        Value::Array(a) => Value::Number(rt.heap.length(*a) as f64),
+                        Value::Str(s) => Value::Number(s.chars().count() as f64),
+                        Value::Object(o) => rt.object(*o).get("length"),
+                        // Type confusion after a dropped unbox: the
+                        // number is a "pointer" and its length header is
+                        // whatever that cell holds.
+                        Value::Number(k) if code.guard_kind(i.operands[0]) == GuardKind::None => {
+                            if *k >= 0.0 && k.is_finite() {
+                                let v = crash_on_wild(rt, rt_raw_read(rt, *k as usize))?;
+                                Value::Number(v.to_number())
+                            } else {
+                                return wild(rt, format!("wild length read at {k}"));
+                            }
+                        }
+                        _ => Value::Number(0.0),
+                    };
+                    set!(out);
+                }
+                MOpcode::SetArrayLength => {
+                    let base = val!(i.operands[0]);
+                    let v = val!(i.operands[1]);
+                    jitbull_vm::interp::set_length(rt, &base, &v)?;
+                    set!(v);
+                }
+                MOpcode::LoadElement => {
+                    set!(load_element(
+                        code,
+                        rt,
+                        &values,
+                        &check_ok,
+                        i.operands[0],
+                        i.operands[1]
+                    )?);
+                }
+                MOpcode::StoreElement => {
+                    let v = val!(i.operands[2]);
+                    store_element(
+                        code,
+                        rt,
+                        &values,
+                        &check_ok,
+                        i.operands[0],
+                        i.operands[1],
+                        v.clone(),
+                    )?;
+                    set!(v);
+                }
+                MOpcode::LoadProperty(name) => {
+                    let base = val!(i.operands[0]);
+                    set!(jitbull_vm::interp::get_prop(rt, &base, name)?);
+                }
+                MOpcode::StoreProperty(name) => {
+                    let base = val!(i.operands[0]);
+                    let v = val!(i.operands[1]);
+                    jitbull_vm::interp::set_prop(rt, &base, Rc::clone(name), v.clone())?;
+                    set!(v);
+                }
+                MOpcode::LoadGlobal(slot) => set!(rt.globals[*slot as usize].clone()),
+                MOpcode::StoreGlobal(slot) => {
+                    rt.globals[*slot as usize] = val!(i.operands[0]);
+                }
+                MOpcode::Print => {
+                    let v = val!(i.operands[0]);
+                    let line = v.to_string();
+                    rt.printed.push(line);
+                }
+                MOpcode::MathFunction(mf) => {
+                    let call_args: Vec<Value> = i.operands.iter().map(|o| val!(o)).collect();
+                    set!(eval_math(rt, *mf, &call_args));
+                }
+                MOpcode::Intrinsic(m, _) => {
+                    let recv = val!(i.operands[0]);
+                    let call_args: Vec<Value> = i.operands[1..].iter().map(|o| val!(o)).collect();
+                    set!(eval_intrinsic(rt, *m, &recv, &call_args)?);
+                }
+                MOpcode::FromCharCode => {
+                    let n = val!(i.operands[0]).to_number();
+                    let c = char::from_u32(n as u32).unwrap_or('\u{FFFD}');
+                    set!(Value::str(c.to_string()));
+                }
+            }
+        }
+        return Err(VmError::Type(
+            "block fell through without terminator".into(),
+        ));
+    }
+}
+
+fn rt_raw_read(rt: &Runtime, addr: usize) -> Result<Value, VmError> {
+    rt.heap.raw_read(addr)
+}
+
+fn crash_on_wild(rt: &mut Runtime, r: Result<Value, VmError>) -> Result<Value, VmError> {
+    match r {
+        Err(VmError::Crash(msg)) => {
+            rt.note_crash(&msg);
+            Err(VmError::Crash(msg))
+        }
+        other => other,
+    }
+}
+
+fn wild(rt: &mut Runtime, msg: String) -> Result<Value, VmError> {
+    rt.note_crash(&msg);
+    Err(VmError::Crash(msg))
+}
+
+fn guard_state(
+    code: &CompiledCode,
+    check_ok: &[bool],
+    id: InstrId,
+    expected: GuardKind,
+) -> Option<bool> {
+    if code.guard_kind(id) == expected {
+        Some(check_ok[id.0 as usize])
+    } else {
+        None
+    }
+}
+
+fn load_element(
+    code: &CompiledCode,
+    rt: &mut Runtime,
+    values: &[Value],
+    check_ok: &[bool],
+    base_id: InstrId,
+    idx_id: InstrId,
+) -> Result<Value, VmError> {
+    let base = values[base_id.0 as usize].clone();
+    let idx = values[idx_id.0 as usize].clone();
+    let base_guard = guard_state(code, check_ok, base_id, GuardKind::UnboxArray);
+    let idx_guard = guard_state(code, check_ok, idx_id, GuardKind::BoundsCheck);
+    match &base {
+        Value::Array(a) => {
+            if base_guard == Some(false) || idx_guard == Some(false) {
+                // Bailout path: full interpreter semantics.
+                return jitbull_vm::interp::get_elem(rt, &base, &idx);
+            }
+            // Guarded-and-passing, or unguarded (check removed): raw.
+            raw_elem_read(rt, *a, idx.to_number())
+        }
+        Value::Number(k) if base_guard.is_none() => {
+            // Type confusion: unbox removed, number dereferenced as a heap
+            // address.
+            let addr = *k + 2.0 + idx.to_number();
+            if addr >= 0.0 && addr.is_finite() {
+                crash_on_wild(rt, rt_raw_read(rt, addr as usize))
+            } else {
+                wild(rt, format!("wild read through confused pointer {k}"))
+            }
+        }
+        _ => jitbull_vm::interp::get_elem(rt, &base, &idx),
+    }
+}
+
+fn store_element(
+    code: &CompiledCode,
+    rt: &mut Runtime,
+    values: &[Value],
+    check_ok: &[bool],
+    base_id: InstrId,
+    idx_id: InstrId,
+    value: Value,
+) -> Result<(), VmError> {
+    let base = values[base_id.0 as usize].clone();
+    let idx = values[idx_id.0 as usize].clone();
+    let base_guard = guard_state(code, check_ok, base_id, GuardKind::UnboxArray);
+    let idx_guard = guard_state(code, check_ok, idx_id, GuardKind::BoundsCheck);
+    match &base {
+        Value::Array(a) => {
+            if base_guard == Some(false) || idx_guard == Some(false) {
+                return jitbull_vm::interp::set_elem(rt, &base, &idx, value);
+            }
+            raw_elem_write(rt, *a, idx.to_number(), value)
+        }
+        Value::Number(k) if base_guard.is_none() => {
+            let addr = *k + 2.0 + idx.to_number();
+            if addr >= 0.0 && addr.is_finite() {
+                match rt.heap.raw_write(addr as usize, value) {
+                    Err(VmError::Crash(msg)) => {
+                        rt.note_crash(&msg);
+                        Err(VmError::Crash(msg))
+                    }
+                    other => other,
+                }
+            } else {
+                wild(rt, format!("wild write through confused pointer {k}")).map(|_| ())
+            }
+        }
+        _ => jitbull_vm::interp::set_elem(rt, &base, &idx, value),
+    }
+}
+
+fn raw_elem_read(
+    rt: &mut Runtime,
+    arr: jitbull_vm::value::ArrId,
+    idx: f64,
+) -> Result<Value, VmError> {
+    if !(idx >= 0.0 && idx.fract() == 0.0 && idx.is_finite()) {
+        // Compiled fast paths only exist for integer indexes.
+        return rt.heap.get_elem(arr, idx);
+    }
+    let addr = rt.heap.elem_addr(arr, idx as usize);
+    crash_on_wild(rt, rt_raw_read(rt, addr))
+}
+
+fn raw_elem_write(
+    rt: &mut Runtime,
+    arr: jitbull_vm::value::ArrId,
+    idx: f64,
+    value: Value,
+) -> Result<(), VmError> {
+    if !(idx >= 0.0 && idx.fract() == 0.0 && idx.is_finite()) {
+        return rt.heap.set_elem(arr, idx, value);
+    }
+    let addr = rt.heap.elem_addr(arr, idx as usize);
+    match rt.heap.raw_write(addr, value) {
+        Err(VmError::Crash(msg)) => {
+            rt.note_crash(&msg);
+            Err(VmError::Crash(msg))
+        }
+        other => other,
+    }
+}

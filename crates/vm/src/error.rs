@@ -1,0 +1,53 @@
+//! Runtime error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while compiling or executing minijs code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Source failed to parse (wraps the frontend message).
+    Parse(String),
+    /// Compilation rejected the program (e.g. captured locals).
+    Compile(String),
+    /// A dynamic type error (calling a non-function, indexing a number, …).
+    Type(String),
+    /// The simulated process crashed — raw heap access escaped the heap, or
+    /// execution was redirected through corrupted state. This models the
+    /// browser-tab crash outcome of the paper's first two CVE PoCs.
+    Crash(String),
+    /// The per-run fuel budget was exhausted (guards tests against
+    /// accidental infinite loops).
+    OutOfFuel,
+    /// An unknown global was read before being defined.
+    UndefinedGlobal(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Parse(m) => write!(f, "parse error: {m}"),
+            VmError::Compile(m) => write!(f, "compile error: {m}"),
+            VmError::Type(m) => write!(f, "type error: {m}"),
+            VmError::Crash(m) => write!(f, "runtime crash: {m}"),
+            VmError::OutOfFuel => write!(f, "execution fuel exhausted"),
+            VmError::UndefinedGlobal(name) => write!(f, "undefined global `{name}`"),
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            VmError::Crash("oob".into()).to_string(),
+            "runtime crash: oob"
+        );
+        assert_eq!(VmError::OutOfFuel.to_string(), "execution fuel exhausted");
+    }
+}

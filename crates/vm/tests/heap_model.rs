@@ -1,0 +1,137 @@
+//! Model-based property testing of the heap's *checked* API: a random
+//! operation sequence must behave exactly like a plain
+//! `Vec<Vec<f64>>`-backed model (JS array semantics), no matter how
+//! allocations interleave. The raw API is exercised by the exploit tests
+//! instead — its whole point is to deviate once guards are gone.
+
+use proptest::prelude::*;
+
+use jitbull_vm::value::ArrId;
+use jitbull_vm::{Heap, Value};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { len: u8 },
+    Get { arr: u8, idx: u8 },
+    Set { arr: u8, idx: u8, v: i16 },
+    SetLength { arr: u8, len: u8 },
+    Push { arr: u8, v: i16 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..12).prop_map(|len| Op::Alloc { len }),
+        (any::<u8>(), 0u8..20).prop_map(|(arr, idx)| Op::Get { arr, idx }),
+        (any::<u8>(), 0u8..20, any::<i16>()).prop_map(|(arr, idx, v)| Op::Set { arr, idx, v }),
+        (any::<u8>(), 0u8..16).prop_map(|(arr, len)| Op::SetLength { arr, len }),
+        (any::<u8>(), any::<i16>()).prop_map(|(arr, v)| Op::Push { arr, v }),
+    ]
+}
+
+/// The reference model: dense JS-like arrays of numbers-or-undefined.
+#[derive(Debug, Default)]
+struct Model {
+    arrays: Vec<Vec<Option<f64>>>,
+}
+
+impl Model {
+    fn alloc(&mut self, len: usize) -> usize {
+        self.arrays.push(vec![None; len]);
+        self.arrays.len() - 1
+    }
+
+    fn get(&self, arr: usize, idx: usize) -> Option<f64> {
+        self.arrays[arr].get(idx).copied().flatten()
+    }
+
+    fn set(&mut self, arr: usize, idx: usize, v: f64) {
+        let a = &mut self.arrays[arr];
+        if idx >= a.len() {
+            a.resize(idx + 1, None);
+        }
+        a[idx] = Some(v);
+    }
+
+    fn set_length(&mut self, arr: usize, len: usize) {
+        self.arrays[arr].resize(len, None);
+    }
+}
+
+fn value_of(m: Option<f64>) -> Value {
+    match m {
+        Some(n) => Value::Number(n),
+        None => Value::Undefined,
+    }
+}
+
+fn same(a: &Value, b: &Value) -> bool {
+    a.strict_eq(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn checked_heap_matches_reference_model(ops in proptest::collection::vec(op(), 1..60)) {
+        let mut heap = Heap::new();
+        let mut model = Model::default();
+        let mut ids: Vec<ArrId> = Vec::new();
+        for o in ops {
+            match o {
+                Op::Alloc { len } => {
+                    let id = heap.alloc_array(len as usize, len as usize, Value::Undefined);
+                    let mid = model.alloc(len as usize);
+                    prop_assert_eq!(mid, ids.len());
+                    ids.push(id);
+                }
+                Op::Get { arr, idx } if !ids.is_empty() => {
+                    let k = arr as usize % ids.len();
+                    let got = heap.get_elem(ids[k], idx as f64).expect("checked get");
+                    let want = value_of(model.get(k, idx as usize));
+                    prop_assert!(
+                        same(&got, &want),
+                        "get a{k}[{idx}]: heap {got:?} vs model {want:?}"
+                    );
+                }
+                Op::Set { arr, idx, v } if !ids.is_empty() => {
+                    let k = arr as usize % ids.len();
+                    heap.set_elem(ids[k], idx as f64, Value::Number(v as f64))
+                        .expect("checked set");
+                    model.set(k, idx as usize, v as f64);
+                }
+                Op::SetLength { arr, len } if !ids.is_empty() => {
+                    let k = arr as usize % ids.len();
+                    heap.set_length(ids[k], len as usize);
+                    model.set_length(k, len as usize);
+                }
+                Op::Push { arr, v } if !ids.is_empty() => {
+                    let k = arr as usize % ids.len();
+                    let len = heap.length(ids[k]);
+                    heap.set_elem(ids[k], len as f64, Value::Number(v as f64))
+                        .expect("push");
+                    let mlen = model.arrays[k].len();
+                    model.set(k, mlen, v as f64);
+                }
+                _ => {}
+            }
+            // Global invariants after every step.
+            for (k, id) in ids.iter().enumerate() {
+                prop_assert_eq!(
+                    heap.length(*id),
+                    model.arrays[k].len(),
+                    "length of a{}",
+                    k
+                );
+                prop_assert!(heap.capacity(*id) >= heap.length(*id));
+            }
+        }
+        // Full sweep at the end: every element agrees.
+        for (k, id) in ids.iter().enumerate() {
+            for idx in 0..model.arrays[k].len() + 2 {
+                let got = heap.get_elem(*id, idx as f64).expect("sweep get");
+                let want = value_of(model.get(k, idx));
+                prop_assert!(same(&got, &want), "sweep a{k}[{idx}]: {got:?} vs {want:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,671 @@
+//! The workload sources.
+
+/// One benchmark program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name (matches the Octane benchmark it is the analogue of).
+    pub name: &'static str,
+    /// Complete minijs source; prints exactly one checksum line.
+    pub source: String,
+}
+
+/// Looks a workload up by name.
+pub fn workload(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+/// The Octane-analogue programs, in the order the paper's figures list
+/// them.
+pub fn octane_analogues() -> Vec<Workload> {
+    vec![
+        box2d(),
+        crypto(),
+        deltablue(),
+        earleyboyer(),
+        gameboy(),
+        navierstokes(),
+        pdfjs(),
+        raytrace(),
+        richards(),
+        splay(),
+        typescript(),
+        codeload(),
+    ]
+}
+
+/// The paper's two micro-benchmarks (§VI-A-b): an arithmetic loop and the
+/// same with array-size manipulation.
+pub fn microbenches() -> Vec<Workload> {
+    vec![microbench1(), microbench2()]
+}
+
+/// Micro-benchmarks followed by the Octane analogues.
+pub fn all_workloads() -> Vec<Workload> {
+    let mut v = microbenches();
+    v.extend(octane_analogues());
+    v
+}
+
+fn microbench1() -> Workload {
+    Workload {
+        name: "Microbench1",
+        source: r#"
+// Arithmetic on variables within a for loop (paper §VI-A-b).
+function mb1(a, b) {
+  var t = 0;
+  for (var i = 0; i < 40; i++) { t = t + a * i - b; }
+  return t;
+}
+var r = 0;
+for (var k = 0; k < 2600; k++) { r = mb1(k, 3); }
+print(r);
+"#
+        .to_owned(),
+    }
+}
+
+fn microbench2() -> Workload {
+    Workload {
+        name: "Microbench2",
+        source: r#"
+// Same, but manipulates the size of an array (paper §VI-A-b). This is
+// the honest false positive: shrinking and re-growing `arr.length` next
+// to checked element writes is exactly the IR shape CVE-2019-17026's
+// demonstrator has.
+function mb2(arr, n) {
+  arr.length = 4;
+  arr.length = 12;
+  var t = 0;
+  for (var i = 0; i < arr.length; i++) {
+    arr[i] = n + i;
+    t = t + arr[i];
+  }
+  return t;
+}
+var a = new Array(12);
+var r = 0;
+for (var k = 0; k < 2600; k++) { r = mb2(a, k); }
+print(r);
+"#
+        .to_owned(),
+    }
+}
+
+fn richards() -> Workload {
+    Workload {
+        name: "Richards",
+        source: r#"
+// OS-scheduler simulation analogue: objects with method dispatch.
+function Task(id, priority) {
+  this.id = id;
+  this.pri = priority;
+  this.work = 0;
+  this.run = runTask;
+}
+function runTask(units) {
+  this.work = this.work + units;
+  return this.work;
+}
+function pickUnits(round, i) {
+  var u = 1 + (round & 3);
+  if ((round + i) % 5 == 0) { u = u + 1; }
+  return u;
+}
+function runnable(round, i) {
+  return (round + i) % 3 != 0;
+}
+function account(total, v, round) {
+  return (total + v + (round & 1)) % 1000000007;
+}
+function schedule(tasks, round) {
+  var total = 0;
+  for (var i = 0; i < tasks.length; i++) {
+    var t = tasks[i];
+    if (runnable(round, i)) {
+      total = account(total, t.run(pickUnits(round, i)), round);
+    }
+  }
+  return total;
+}
+var tasks = [new Task(0, 1), new Task(1, 2), new Task(2, 3),
+             new Task(3, 1), new Task(4, 2), new Task(5, 3)];
+var acc = 0;
+for (var r = 0; r < 2400; r++) { acc = (acc + schedule(tasks, r)) % 1000000007; }
+print(acc);
+"#
+        .to_owned(),
+    }
+}
+
+fn deltablue() -> Workload {
+    Workload {
+        name: "DeltaBlue",
+        source: r#"
+// One-way constraint-propagation analogue.
+function makeChain(n) {
+  var v = new Array(n);
+  for (var i = 0; i < n; i++) { v[i] = 0; }
+  return v;
+}
+function stayStrength(i) {
+  return i & 1;
+}
+function editValue(vals, strength) {
+  vals[0] = strength;
+  return vals[0];
+}
+function propagate(vals, strength) {
+  editValue(vals, strength);
+  for (var i = 1; i < vals.length; i++) {
+    vals[i] = vals[i - 1] + stayStrength(i);
+  }
+  return vals[vals.length - 1];
+}
+function planValue(vals, rounds) {
+  var out = 0;
+  for (var r = 0; r < rounds; r++) { out = propagate(vals, r & 7); }
+  return out;
+}
+var chain = makeChain(24);
+var out = 0;
+for (var r = 0; r < 2200; r++) { out = out + planValue(chain, 1); }
+print(out);
+"#
+        .to_owned(),
+    }
+}
+
+fn crypto() -> Workload {
+    Workload {
+        name: "Crypto",
+        source: r#"
+// RC4-style stream cipher analogue: masked indexes into a 256-entry
+// s-box (all masks keep accesses in bounds).
+function keyByte(key, i) {
+  return key[i & 15];
+}
+function swapEntries(sbox, i, j) {
+  var tmp = sbox[i];
+  sbox[i] = sbox[j];
+  sbox[j] = tmp;
+  return sbox[i];
+}
+function mixKey(sbox, key) {
+  var j = 0;
+  for (var i = 0; i < 256; i++) {
+    j = (j + sbox[i] + keyByte(key, i)) & 255;
+    swapEntries(sbox, i, j);
+  }
+  return sbox[0];
+}
+function stream(sbox, n) {
+  var out = 0;
+  var i = 0;
+  var j = 0;
+  for (var k = 0; k < n; k++) {
+    i = (i + 1) & 255;
+    j = (j + sbox[i]) & 255;
+    out = (out + sbox[(sbox[i] + sbox[j]) & 255]) & 65535;
+  }
+  return out;
+}
+var sbox = new Array(256);
+for (var i = 0; i < 256; i++) { sbox[i] = i; }
+var key = new Array(16);
+for (var i = 0; i < 16; i++) { key[i] = (i * 7 + 3) & 255; }
+function fold(sum, v) {
+  return (sum + v) & 1048575;
+}
+var sum = 0;
+for (var r = 0; r < 1900; r++) {
+  mixKey(sbox, key);
+  sum = fold(sum, stream(sbox, 48));
+}
+print(sum);
+"#
+        .to_owned(),
+    }
+}
+
+fn raytrace() -> Workload {
+    Workload {
+        name: "RayTrace",
+        source: r#"
+// Sphere-intersection analogue: floating-point heavy, branchy.
+function discriminant(ox, oy, dx, dy) {
+  var dz = 1;
+  var b = 2 * (ox * dx + oy * dy + (0 - 5) * dz);
+  var c = ox * ox + oy * oy + 25 - 1;
+  return b * b - 4 * c;
+}
+function halfB(ox, oy, dx, dy) {
+  return 0 - (ox * dx + oy * dy - 5);
+}
+function shade(hit, frame) {
+  return hit * 0.5 + frame * 0.001;
+}
+function traceRay(ox, oy, dx, dy, frame) {
+  var disc = discriminant(ox, oy, dx, dy);
+  if (disc < 0) { return 0; }
+  var s = Math.sqrt(disc);
+  return shade(2 * halfB(ox, oy, dx, dy) - s, frame);
+}
+function sampleAt(x, y, frame) {
+  return traceRay((x - 4) * 0.25, (y - 4) * 0.25, 0.1, 0.1, frame);
+}
+function render(w, h, frame) {
+  var acc = 0;
+  for (var y = 0; y < h; y++) {
+    for (var x = 0; x < w; x++) {
+      acc = acc + sampleAt(x, y, frame);
+    }
+  }
+  return acc;
+}
+var total = 0;
+for (var f = 0; f < 2000; f++) { total = total + render(6, 6, f); }
+print(Math.floor(total));
+"#
+        .to_owned(),
+    }
+}
+
+fn navierstokes() -> Workload {
+    Workload {
+        name: "NavierStokes",
+        source: r#"
+// Fluid-grid stencil analogue over flat arrays.
+function stencil(src, idx, w) {
+  return (src[idx] + src[idx - 1] + src[idx + 1] + src[idx - w] + src[idx + w]) * 0.2;
+}
+function diffuseRow(src, dst, y, w) {
+  for (var x = 1; x < w - 1; x++) {
+    var idx = y * w + x;
+    dst[idx] = stencil(src, idx, w);
+  }
+  return dst[y * w + 1];
+}
+function setBoundary(dst, w, h) {
+  for (var x = 0; x < w; x++) {
+    dst[x] = 0;
+    dst[(h - 1) * w + x] = 0;
+  }
+  return dst[0];
+}
+function diffuse(src, dst, w, h) {
+  for (var y = 1; y < h - 1; y++) {
+    diffuseRow(src, dst, y, w);
+  }
+  setBoundary(dst, w, h);
+  return dst[w + 1];
+}
+var W = 16;
+var H = 16;
+var a = new Array(256);
+var b = new Array(256);
+for (var i = 0; i < 256; i++) { a[i] = i % 7; b[i] = 0; }
+var out = 0;
+for (var s = 0; s < 1900; s++) {
+  out = diffuse(a, b, W, H);
+  var t = a;
+  a = b;
+  b = t;
+}
+print(Math.floor(out * 1000));
+"#
+        .to_owned(),
+    }
+}
+
+fn splay() -> Workload {
+    Workload {
+        name: "Splay",
+        source: r#"
+// Binary-search-tree analogue: object allocation and pointer chasing.
+function Node(key) {
+  this.key = key;
+  this.left = null;
+  this.right = null;
+}
+function insert(root, key) {
+  if (root == null) { return new Node(key); }
+  var cur = root;
+  while (true) {
+    if (key < cur.key) {
+      if (cur.left == null) { cur.left = new Node(key); break; }
+      cur = cur.left;
+    } else if (key > cur.key) {
+      if (cur.right == null) { cur.right = new Node(key); break; }
+      cur = cur.right;
+    } else { break; }
+  }
+  return root;
+}
+function lookup(root, key) {
+  var cur = root;
+  var depth = 0;
+  while (cur != null) {
+    depth = depth + 1;
+    if (key == cur.key) { return depth; }
+    if (key < cur.key) { cur = cur.left; } else { cur = cur.right; }
+  }
+  return 0 - depth;
+}
+function treeMin(root) {
+  var cur = root;
+  var k = 0;
+  while (cur != null) { k = cur.key; cur = cur.left; }
+  return k;
+}
+function treeMax(root) {
+  var cur = root;
+  var k = 0;
+  while (cur != null) { k = cur.key; cur = cur.right; }
+  return k;
+}
+function nextSeed(seed) {
+  return (seed * 137 + 101) % 9973;
+}
+var root = null;
+var seed = 1;
+var acc = 0;
+for (var i = 0; i < 2000; i++) {
+  seed = nextSeed(seed);
+  root = insert(root, seed % 997);
+  acc = acc + lookup(root, (seed * 3) % 997) + treeMin(root) - treeMax(root);
+}
+print(acc);
+"#
+        .to_owned(),
+    }
+}
+
+fn pdfjs() -> Workload {
+    Workload {
+        name: "Pdfjs",
+        source: r#"
+// Bit-stream decoding analogue (variable-width reads from a byte array).
+function bitOf(bytes, p) {
+  var rem = p % 8;
+  var byteIdx = (p - rem) / 8;
+  return (bytes[byteIdx] >> (7 - rem)) & 1;
+}
+function widthOf(sum) {
+  return 1 + (sum & 3);
+}
+function readBits(bytes, bitpos, count) {
+  var v = 0;
+  for (var i = 0; i < count; i++) {
+    v = v * 2 + bitOf(bytes, bitpos + i);
+  }
+  return v;
+}
+function decode(bytes, n) {
+  var pos = 0;
+  var sum = 0;
+  var limit = bytes.length * 8 - 8;
+  for (var i = 0; i < n; i++) {
+    var w = widthOf(sum);
+    if (pos + w > limit) { pos = 0; }
+    sum = (sum + readBits(bytes, pos, w)) & 65535;
+    pos = pos + w;
+  }
+  return sum;
+}
+var data = new Array(64);
+for (var i = 0; i < 64; i++) { data[i] = (i * 37 + 11) & 255; }
+var result = 0;
+for (var r = 0; r < 1900; r++) { result = (result + decode(data, 20)) & 1048575; }
+print(result);
+"#
+        .to_owned(),
+    }
+}
+
+fn box2d() -> Workload {
+    Workload {
+        name: "Box2D",
+        source: r#"
+// Particle-physics analogue: parallel arrays, bouncing off walls.
+function applyGravity(vy, n, g) {
+  for (var i = 0; i < n; i++) { vy[i] = vy[i] + g; }
+  return vy[0];
+}
+function integrate(px, py, vx, vy, n) {
+  for (var i = 0; i < n; i++) {
+    px[i] = px[i] + vx[i];
+    py[i] = py[i] + vy[i];
+  }
+  return px[0];
+}
+function collideWalls(px, py, vx, vy, n) {
+  var hits = 0;
+  for (var i = 0; i < n; i++) {
+    if (py[i] > 100) { py[i] = 100; vy[i] = 0 - vy[i] * 0.5; hits = hits + 1; }
+    if (px[i] < 0) { px[i] = 0; vx[i] = 0 - vx[i]; hits = hits + 1; }
+    if (px[i] > 100) { px[i] = 100; vx[i] = 0 - vx[i]; hits = hits + 1; }
+  }
+  return hits;
+}
+function kineticEnergy(vx, vy, n) {
+  var energy = 0;
+  for (var i = 0; i < n; i++) {
+    energy = energy + vx[i] * vx[i] + vy[i] * vy[i];
+  }
+  return energy;
+}
+function stepParticles(px, py, vx, vy, n, g) {
+  applyGravity(vy, n, g);
+  integrate(px, py, vx, vy, n);
+  collideWalls(px, py, vx, vy, n);
+  return kineticEnergy(vx, vy, n);
+}
+var N = 40;
+var px = new Array(N);
+var py = new Array(N);
+var vx = new Array(N);
+var vy = new Array(N);
+for (var i = 0; i < N; i++) {
+  px[i] = (i * 13) % 100;
+  py[i] = (i * 29) % 100;
+  vx[i] = ((i % 5) - 2) * 0.5;
+  vy[i] = 0;
+}
+var e = 0;
+for (var s = 0; s < 1900; s++) { e = stepParticles(px, py, vx, vy, N, 0.1); }
+print(Math.floor(e));
+"#
+        .to_owned(),
+    }
+}
+
+fn typescript() -> Workload {
+    Workload {
+        name: "TypeScript",
+        source: r#"
+// Tokenizer analogue: character classification over source text.
+function isDigit(c) { return c >= 48 && c <= 57; }
+function isAlpha(c) {
+  return (c >= 97 && c <= 122) || (c >= 65 && c <= 90) || c == 95;
+}
+function isIdentPart(c) { return isAlpha(c) || isDigit(c); }
+function resetScratch(buf, n) {
+  // Token scratch buffer reuse: shrink, then regrow and refill — the
+  // everyday IR shape that resembles length-manipulating exploit code.
+  buf.length = 0;
+  buf.length = 8;
+  for (var i = 0; i < 8; i++) { buf[i] = n + i; }
+  return buf[0];
+}
+function tokenize(src) {
+  var i = 0;
+  var tokens = 0;
+  var idents = 0;
+  var nums = 0;
+  var n = src.length;
+  while (i < n) {
+    var c = src.charCodeAt(i);
+    if (isAlpha(c)) {
+      idents = idents + 1;
+      while (i < n && isIdentPart(src.charCodeAt(i))) {
+        i = i + 1;
+      }
+    } else if (isDigit(c)) {
+      nums = nums + 1;
+      while (i < n && isDigit(src.charCodeAt(i))) { i = i + 1; }
+    } else {
+      i = i + 1;
+    }
+    tokens = tokens + 1;
+  }
+  return tokens * 1000 + idents * 10 + nums;
+}
+var program = "function foo12(bar, baz9) { var x_1 = 42; return bar + baz9 * x_1; } ";
+var scratch = new Array(8);
+var out = 0;
+for (var r = 0; r < 1800; r++) {
+  out = tokenize(program) + resetScratch(scratch, r & 7);
+}
+print(out);
+"#
+        .to_owned(),
+    }
+}
+
+fn earleyboyer() -> Workload {
+    Workload {
+        name: "EarleyBoyer",
+        source: r#"
+// Symbolic list-processing analogue (cons cells, structural recursion).
+function Cons(head, tail) {
+  this.head = head;
+  this.tail = tail;
+}
+function listLen(l) {
+  var n = 0;
+  var cur = l;
+  while (cur != null) { n = n + 1; cur = cur.tail; }
+  return n;
+}
+function buildList(n, seed) {
+  var l = null;
+  for (var i = 0; i < n; i++) { l = new Cons((seed + i * 7) % 23, l); }
+  return l;
+}
+function sumList(l) {
+  var t = 0;
+  var cur = l;
+  while (cur != null) { t = t + cur.head; cur = cur.tail; }
+  return t;
+}
+function rewrite(l) {
+  // One rewriting pass: x -> x*2+1 for odd heads, x/… keep even.
+  var out = null;
+  var cur = l;
+  while (cur != null) {
+    var h = cur.head;
+    if (h % 2 == 1) { h = (h * 2 + 1) % 29; }
+    out = new Cons(h, out);
+    cur = cur.tail;
+  }
+  return out;
+}
+var acc = 0;
+for (var r = 0; r < 1800; r++) {
+  var l = buildList(10, r);
+  l = rewrite(l);
+  acc = (acc + sumList(l) * listLen(l)) % 1000003;
+}
+print(acc);
+"#
+        .to_owned(),
+    }
+}
+
+fn gameboy() -> Workload {
+    Workload {
+        name: "Gameboy",
+        source: r#"
+// Byte-machine emulator analogue: opcode dispatch over a memory array.
+function step(mem, regs, pc) {
+  var op = mem[pc & 255];
+  var a = op & 3;
+  var b = (op >> 2) & 3;
+  var kind = (op >> 4) & 7;
+  if (kind == 0) { regs[a] = (regs[a] + regs[b]) & 255; }
+  else if (kind == 1) { regs[a] = (regs[a] - regs[b]) & 255; }
+  else if (kind == 2) { regs[a] = (regs[a] ^ regs[b]) & 255; }
+  else if (kind == 3) { regs[a] = mem[regs[b] & 255]; }
+  else if (kind == 4) { mem[regs[b] & 255] = regs[a]; }
+  else if (kind == 5) { regs[a] = (regs[a] << 1) & 255; }
+  else if (kind == 6) { if (regs[a] == 0) { return (pc + 2) & 255; } }
+  else { regs[a] = (regs[a] + 1) & 255; }
+  return (pc + 1) & 255;
+}
+function runFrame(mem, regs, steps) {
+  var pc = 0;
+  for (var i = 0; i < steps; i++) { pc = step(mem, regs, pc); }
+  return regs[0] * 16777 + regs[1] * 257 + regs[2] * 3 + regs[3];
+}
+var mem = new Array(256);
+for (var i = 0; i < 256; i++) { mem[i] = (i * 167 + 13) & 255; }
+var regs = [1, 2, 3, 4];
+var out = 0;
+for (var f = 0; f < 1800; f++) { out = (out + runFrame(mem, regs, 40)) % 1000000007; }
+print(out);
+"#
+        .to_owned(),
+    }
+}
+
+fn codeload() -> Workload {
+    // Many small functions, generated: stresses per-function compilation
+    // (and, with JITBULL on, per-function DNA extraction).
+    let mut src = String::from("// Many-small-functions analogue.\n");
+    for i in 0..24 {
+        src.push_str(&format!(
+            "function unit{i}(x) {{ return (x * {m} + {a}) % 9973; }}\n",
+            m = i * 2 + 3,
+            a = i + 1
+        ));
+    }
+    src.push_str("var acc = 0;\nfor (var r = 0; r < 1700; r++) {\n  var v = r;\n");
+    for i in 0..24 {
+        src.push_str(&format!("  v = unit{i}(v);\n"));
+    }
+    src.push_str("  acc = (acc + v) % 1000003;\n}\nprint(acc);\n");
+    Workload {
+        name: "CodeLoad",
+        source: src,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jitbull_frontend::parse_program;
+
+    #[test]
+    fn all_workloads_parse() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 14);
+        for w in &all {
+            parse_program(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload("Crypto").is_some());
+        assert!(workload("Microbench2").is_some());
+        assert!(workload("NoSuch").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all_workloads().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+}

@@ -1,0 +1,60 @@
+//! Run the full harmless-workload corpus under every engine
+//! configuration the paper evaluates and print a combined report
+//! (Figure 4 + Figure 5 in one table).
+//!
+//! ```text
+//! cargo run --release --example octane_report
+//! ```
+
+use jitbull_bench::figures::db_with;
+use jitbull_jit::engine::EngineConfig;
+use jitbull_workloads::{all_workloads, run_workload};
+
+fn main() -> Result<(), jitbull_vm::VmError> {
+    let (db1, vulns1) = db_with(1);
+    let (db4, vulns4) = db_with(4);
+    println!(
+        "{:<13} {:>7} {:>12} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "benchmark", "Nr_JIT", "JIT cycles", "NoJIT", "JB #1", "JB #4", "#1 %dis", "#4 %dis"
+    );
+    for w in all_workloads() {
+        let jit = run_workload(&w, EngineConfig::default(), None)?;
+        let nojit = run_workload(
+            &w,
+            EngineConfig {
+                jit_enabled: false,
+                ..Default::default()
+            },
+            None,
+        )?;
+        let one = run_workload(
+            &w,
+            EngineConfig {
+                vulns: vulns1.clone(),
+                ..Default::default()
+            },
+            Some(db1.clone()),
+        )?;
+        let four = run_workload(
+            &w,
+            EngineConfig {
+                vulns: vulns4.clone(),
+                ..Default::default()
+            },
+            Some(db4.clone()),
+        )?;
+        let pct = |c: u64| (c as f64 - jit.cycles as f64) * 100.0 / jit.cycles as f64;
+        println!(
+            "{:<13} {:>7} {:>12} {:>8.0}% {:>8.1}% {:>8.1}% {:>7.1}% {:>7.1}%",
+            w.name,
+            jit.nr_jit,
+            jit.cycles,
+            pct(nojit.cycles),
+            pct(one.cycles),
+            pct(four.cycles),
+            one.pct_pass_disabled(),
+            four.pct_pass_disabled(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: run a minijs program on the tiered engine and inspect what
+//! the JIT did.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use jitbull_jit::engine::{Engine, EngineConfig};
+
+fn main() -> Result<(), jitbull_vm::VmError> {
+    let source = r#"
+        function fib(n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        function sumSquares(limit) {
+            var t = 0;
+            for (var i = 0; i < limit; i++) { t = t + i * i; }
+            return t;
+        }
+        print(fib(18));
+        var total = 0;
+        for (var r = 0; r < 2000; r++) { total = sumSquares(50); }
+        print(total);
+    "#;
+
+    // Default configuration: interpreter -> baseline at 100 calls ->
+    // optimizing JIT at 1500 calls (the paper's SpiderMonkey thresholds).
+    let outcome = Engine::run_source(source, EngineConfig::default())?;
+
+    println!("program output : {:?}", outcome.outcome.printed);
+    println!("simulated time : {} cycles", outcome.outcome.cycles);
+    println!("functions seen :");
+    for f in &outcome.stats {
+        println!(
+            "  {:<12} {:>7} invocations  tier: {:?}",
+            f.name, f.invocations, f.tier
+        );
+    }
+
+    // The same program with the JIT off (the paper's NoJIT mitigation)
+    // shows why nobody wants that as a security stopgap.
+    let nojit = Engine::run_source(
+        source,
+        EngineConfig {
+            jit_enabled: false,
+            ..Default::default()
+        },
+    )?;
+    println!(
+        "NoJIT slowdown : {:.1}x",
+        nojit.outcome.cycles as f64 / outcome.outcome.cycles as f64
+    );
+    Ok(())
+}

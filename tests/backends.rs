@@ -1,0 +1,53 @@
+//! Three-way differential: interpreter vs MIR-executor tier vs the full
+//! LIR backend (lowering, out-of-SSA, register allocation) must agree on
+//! every workload and every demonstrator outcome.
+
+use jitbull_jit::engine::{Backend, Engine, EngineConfig};
+use jitbull_jit::{CveId, VulnConfig};
+use jitbull_vdc::validate::run_script;
+use jitbull_vdc::vdc;
+use jitbull_workloads::all_workloads;
+
+fn run(source: &str, jit: bool, backend: Backend) -> Vec<String> {
+    Engine::run_source(
+        source,
+        EngineConfig {
+            jit_enabled: jit,
+            backend,
+            ..Default::default()
+        },
+    )
+    .map(|o| o.outcome.printed)
+    .unwrap_or_else(|e| vec![format!("error: {e}")])
+}
+
+#[test]
+fn all_workloads_agree_across_backends() {
+    for w in all_workloads() {
+        let interp = run(&w.source, false, Backend::Lir);
+        let mir = run(&w.source, true, Backend::Mir);
+        let lir = run(&w.source, true, Backend::Lir);
+        assert_eq!(interp, mir, "{}: MIR backend diverged", w.name);
+        assert_eq!(interp, lir, "{}: LIR backend diverged", w.name);
+    }
+}
+
+#[test]
+fn exploits_work_through_both_backends() {
+    for cve in CveId::security_set() {
+        let poc = vdc(cve);
+        for backend in [Backend::Mir, Backend::Lir] {
+            let mut engine = Engine::new(EngineConfig {
+                vulns: VulnConfig::with([cve]),
+                backend,
+                ..Default::default()
+            });
+            let outcome = run_script(&poc.source, &mut engine).unwrap();
+            assert!(
+                outcome.matches(poc.expected),
+                "{} on {backend:?}: {outcome:?}",
+                poc.name
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The maintainer-update workflow (§IV-C): DNA is extracted by the
+//! maintainer, shipped to users as a compact text update, preloaded at
+//! runtime start, and removed when the patch is applied.
+
+use jitbull::{CompareConfig, DnaDatabase, Guard};
+use jitbull_jit::engine::{Engine, EngineConfig};
+use jitbull_jit::pipeline::N_SLOTS;
+use jitbull_jit::{CveId, VulnConfig};
+use jitbull_vdc::validate::run_script;
+use jitbull_vdc::{build_database, vdc};
+
+#[test]
+fn dna_update_survives_the_wire_and_still_protects() {
+    // Maintainer side: extract and serialize.
+    let cve = CveId::Cve2019_17026;
+    let poc = vdc(cve);
+    let db = build_database(std::slice::from_ref(&poc)).unwrap();
+    let update_text = db.to_text();
+    assert!(update_text.starts_with("@entry CVE-2019-17026"));
+    // The update is compact — kilobytes, not the demonstrator itself
+    // (which would hand users a weapon, §IV-C).
+    assert!(update_text.len() < 8 * 1024, "{} bytes", update_text.len());
+    assert!(
+        !update_text.contains("shrink_smash(prey"),
+        "the update must not embed the exploit source"
+    );
+
+    // User side: parse, preload, protected.
+    let user_db = DnaDatabase::from_text(&update_text, N_SLOTS).unwrap();
+    assert_eq!(user_db, db);
+    let mut engine = Engine::with_guard(
+        EngineConfig {
+            vulns: VulnConfig::with([cve]),
+            ..Default::default()
+        },
+        Guard::new(user_db, CompareConfig::default()),
+    );
+    let outcome = run_script(&poc.source, &mut engine).unwrap();
+    assert!(!outcome.is_compromised(), "{outcome:?}");
+}
+
+#[test]
+fn database_file_workflow() {
+    let dir = std::env::temp_dir().join("jitbull-update-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("window.dnadb");
+
+    // Two vulnerabilities are in their windows.
+    let vdcs = [vdc(CveId::Cve2019_9810), vdc(CveId::Cve2019_9813)];
+    let db = build_database(&vdcs).unwrap();
+    db.save_to(&path).unwrap();
+
+    // Next browser start: preload from disk.
+    let mut loaded = DnaDatabase::load_from(&path, N_SLOTS).unwrap();
+    assert_eq!(loaded.cves().len(), 2);
+
+    // One patch lands; its entries are dropped and the file rewritten.
+    assert!(loaded.remove_cve("CVE-2019-9810") > 0);
+    loaded.save_to(&path).unwrap();
+    let reloaded = DnaDatabase::load_from(&path, N_SLOTS).unwrap();
+    assert_eq!(reloaded.cves(), vec!["CVE-2019-9813"]);
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn multiple_windows_protect_simultaneously() {
+    // Both 9810 and 9813 are open (the paper's 2019 overlap); one DB
+    // protects against both exploits at once.
+    let vdcs = [vdc(CveId::Cve2019_9810), vdc(CveId::Cve2019_9813)];
+    let db = build_database(&vdcs).unwrap();
+    let vulns = VulnConfig::with([CveId::Cve2019_9810, CveId::Cve2019_9813]);
+    for poc in &vdcs {
+        let mut engine = Engine::with_guard(
+            EngineConfig {
+                vulns: vulns.clone(),
+                ..Default::default()
+            },
+            Guard::new(db.clone(), CompareConfig::default()),
+        );
+        let outcome = run_script(&poc.source, &mut engine).unwrap();
+        assert!(!outcome.is_compromised(), "{}: {outcome:?}", poc.name);
+    }
+}

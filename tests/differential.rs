@@ -1,0 +1,210 @@
+//! Property-based differential testing: randomly generated minijs
+//! programs must print exactly the same output on the interpreter and on
+//! the fully optimizing engine (this is the test class that caught the
+//! GVN global-merging miscompilation during development).
+
+use proptest::prelude::*;
+
+use jitbull_jit::engine::{Engine, EngineConfig};
+use jitbull_jit::VulnConfig;
+
+#[derive(Debug, Clone)]
+enum E {
+    A,
+    B,
+    T,
+    V(u8),
+    Lit(i8),
+    Arr(Box<E>),
+    Bin(u8, Box<E>, Box<E>),
+    Neg(Box<E>),
+    Floor(Box<E>),
+}
+
+#[derive(Debug, Clone)]
+enum S {
+    SetV(u8, Box<E>),
+    SetT(Box<E>),
+    SetArr(Box<E>, Box<E>),
+    If(Box<E>, Vec<S>, Vec<S>),
+    For(u8, Vec<S>),
+}
+
+fn expr_strategy() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        Just(E::A),
+        Just(E::B),
+        Just(E::T),
+        (0u8..4).prop_map(E::V),
+        (-9i8..10).prop_map(E::Lit),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| E::Arr(Box::new(e))),
+            (0u8..10, inner.clone(), inner.clone()).prop_map(|(op, a, b)| E::Bin(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            inner.clone().prop_map(|e| E::Neg(Box::new(e))),
+            inner.prop_map(|e| E::Floor(Box::new(e))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = S> {
+    let simple = prop_oneof![
+        (0u8..4, expr_strategy()).prop_map(|(v, e)| S::SetV(v, Box::new(e))),
+        expr_strategy().prop_map(|e| S::SetT(Box::new(e))),
+        (expr_strategy(), expr_strategy()).prop_map(|(i, v)| S::SetArr(Box::new(i), Box::new(v))),
+    ];
+    simple.prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 1..3),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, a, b)| S::If(Box::new(c), a, b)),
+            ((1u8..5), prop::collection::vec(inner, 1..3)).prop_map(|(n, b)| S::For(n, b)),
+        ]
+    })
+}
+
+fn render_expr(e: &E, out: &mut String) {
+    match e {
+        E::A => out.push('a'),
+        E::B => out.push('b'),
+        E::T => out.push('t'),
+        E::V(v) => out.push_str(&format!("v{}", v % 4)),
+        E::Lit(n) => out.push_str(&format!("({n})")),
+        E::Arr(i) => {
+            out.push_str("arr[(");
+            render_expr(i, out);
+            out.push_str(") & 7]");
+        }
+        E::Bin(op, x, y) => {
+            let sym = ["+", "-", "*", "/", "%", "&", "|", "^", "<", "=="][*op as usize % 10];
+            out.push('(');
+            render_expr(x, out);
+            out.push_str(&format!(" {sym} "));
+            render_expr(y, out);
+            out.push(')');
+        }
+        E::Neg(x) => {
+            out.push_str("(0 - ");
+            render_expr(x, out);
+            out.push(')');
+        }
+        E::Floor(x) => {
+            out.push_str("Math.floor(");
+            render_expr(x, out);
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmt(s: &S, out: &mut String, loop_counter: &mut u32) {
+    match s {
+        S::SetV(v, e) => {
+            out.push_str(&format!("v{} = ", v % 4));
+            render_expr(e, out);
+            out.push_str(";\n");
+        }
+        S::SetT(e) => {
+            out.push_str("t = t + ");
+            render_expr(e, out);
+            out.push_str(";\n");
+        }
+        S::SetArr(i, v) => {
+            out.push_str("arr[(");
+            render_expr(i, out);
+            out.push_str(") & 7] = ");
+            render_expr(v, out);
+            out.push_str(";\n");
+        }
+        S::If(c, a, b) => {
+            out.push_str("if ((");
+            render_expr(c, out);
+            out.push_str(") % 2) {\n");
+            for s in a {
+                render_stmt(s, out, loop_counter);
+            }
+            out.push_str("} else {\n");
+            for s in b {
+                render_stmt(s, out, loop_counter);
+            }
+            out.push_str("}\n");
+        }
+        S::For(n, body) => {
+            let k = *loop_counter;
+            *loop_counter += 1;
+            out.push_str(&format!("for (var k{k} = 0; k{k} < {n}; k{k}++) {{\n"));
+            for s in body {
+                render_stmt(s, out, loop_counter);
+            }
+            out.push_str("}\n");
+        }
+    }
+}
+
+fn render_program(stmts: &[S]) -> String {
+    let mut body = String::new();
+    let mut loop_counter = 0;
+    for s in stmts {
+        render_stmt(s, &mut body, &mut loop_counter);
+    }
+    format!(
+        "function f(a, b, arr) {{\n\
+         var t = 0;\n\
+         var v0 = a; var v1 = b; var v2 = a - b; var v3 = 1;\n\
+         {body}\
+         return t + v0 + v1 + v2 + v3;\n\
+         }}\n\
+         var arr = [1, 2, 3, 4, 5, 6, 7, 8];\n\
+         var out = 0;\n\
+         for (var i = 0; i < 40; i++) {{ out = f(i, (i * 3) % 7, arr); }}\n\
+         print(out);\n\
+         var chk = 0;\n\
+         for (var j = 0; j < 8; j++) {{ chk = chk + arr[j] * (j + 1); }}\n\
+         print(chk);\n"
+    )
+}
+
+fn run(source: &str, jit: bool, vulns: VulnConfig) -> Vec<String> {
+    Engine::run_source(
+        source,
+        EngineConfig {
+            jit_enabled: jit,
+            vulns,
+            fuel: 5_000_000,
+            ..EngineConfig::fast_test()
+        },
+    )
+    .map(|o| o.outcome.printed)
+    .unwrap_or_else(|e| vec![format!("error: {e}")])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Optimized execution must match interpretation exactly.
+    #[test]
+    fn jit_matches_interpreter(stmts in prop::collection::vec(stmt_strategy(), 1..6)) {
+        let source = render_program(&stmts);
+        let interp = run(&source, false, VulnConfig::none());
+        let jit = run(&source, true, VulnConfig::none());
+        prop_assert_eq!(&interp, &jit, "source:\n{}", source);
+    }
+
+    /// A fully vulnerable engine must still run *benign* generated code
+    /// correctly: all accesses are masked in-bounds, so even incorrectly
+    /// removed checks cannot change behaviour.
+    #[test]
+    fn vulnerable_engine_is_correct_on_benign_code(stmts in prop::collection::vec(stmt_strategy(), 1..5)) {
+        let source = render_program(&stmts);
+        let interp = run(&source, false, VulnConfig::none());
+        let vulnerable = run(&source, true, VulnConfig::all());
+        prop_assert_eq!(&interp, &vulnerable, "source:\n{}", source);
+    }
+}

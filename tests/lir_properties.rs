@@ -1,0 +1,74 @@
+//! Property tests over the LIR backend, driven by the fuzz generator's
+//! program space: every generated program's functions must (a) lower to
+//! valid LIR, (b) receive a register allocation with no two overlapping
+//! live intervals sharing a register, and (c) execute identically on the
+//! LIR and MIR backends.
+
+use proptest::prelude::*;
+
+use jitbull_frontend::parse_program;
+use jitbull_fuzzer::gen::{generate_complete, GenConfig};
+use jitbull_jit::engine::{Backend, Engine, EngineConfig};
+use jitbull_jit::pipeline::{optimize, OptimizeOptions};
+use jitbull_jit::VulnConfig;
+use jitbull_lir::regalloc::{allocate, verify};
+use jitbull_lir::{compile, lower};
+use jitbull_mir::build_mir;
+use jitbull_vm::compile_program;
+
+fn source_for(seed: u64) -> String {
+    generate_complete(&GenConfig {
+        seed,
+        warmup: 12,
+        body_len: 6,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lowering_and_allocation_are_sound(seed in 0u64..100_000) {
+        let source = source_for(seed);
+        let program = parse_program(&source).expect("generated source parses");
+        let module = compile_program(&program).expect("compiles");
+        for i in 0..module.functions.len() {
+            let fid = jitbull_vm::bytecode::FuncId(i as u32);
+            let mir = build_mir(&module, fid).expect("mir builds");
+            let optimized = optimize(mir, &VulnConfig::none(), &OptimizeOptions::default());
+            prop_assert!(optimized.broken.is_none());
+            // Lower + allocate, then check the allocator invariant.
+            let lowered = lower(&optimized.mir);
+            prop_assert_eq!(lowered.validate(), Ok(()), "{}", lowered);
+            let allocation = allocate(&lowered);
+            prop_assert!(
+                verify(&lowered, &allocation),
+                "allocation overlap for seed {seed} fn {i}:\n{}",
+                lowered
+            );
+            // The full backend pipeline also ends valid.
+            let compiled = compile(&optimized.mir);
+            prop_assert_eq!(compiled.validate(), Ok(()), "{}", compiled);
+        }
+    }
+
+    #[test]
+    fn lir_and_mir_backends_agree(seed in 0u64..100_000) {
+        let source = source_for(seed);
+        let run = |backend: Backend| {
+            Engine::run_source(
+                &source,
+                EngineConfig {
+                    backend,
+                    baseline_threshold: 3,
+                    ion_threshold: 6,
+                    fuel: 2_000_000,
+                    ..Default::default()
+                },
+            )
+            .map(|o| o.outcome.printed)
+            .map_err(|e| format!("{e}"))
+        };
+        prop_assert_eq!(run(Backend::Mir), run(Backend::Lir), "source:\n{}", source);
+    }
+}

@@ -1,0 +1,77 @@
+//! Figure-5/6 reproduction bounds: JITBULL's overhead properties.
+
+use jitbull_bench::figures::{db_with, fig5, fig6};
+use jitbull_workloads::octane_analogues;
+
+#[test]
+fn fig5_overhead_shapes_match_paper() {
+    let rows = fig5();
+    for r in &rows {
+        // Paper §VI-C: an empty DB costs nothing.
+        assert_eq!(
+            r.jitbull_0, r.jit,
+            "{}: empty-DB JITBULL must be free",
+            r.name
+        );
+        // JITBULL's overhead (1-20 % in the paper; we allow a bit of
+        // headroom) is far below disabling the JIT.
+        let o1 = r.overhead_pct(r.jitbull_1);
+        let o4 = r.overhead_pct(r.jitbull_4);
+        assert!(
+            (0.0..30.0).contains(&o1),
+            "{}: #1 overhead {o1:.1}%",
+            r.name
+        );
+        assert!(
+            (-5.0..35.0).contains(&o4),
+            "{}: #4 overhead {o4:.1}%",
+            r.name
+        );
+        let nojit = r.overhead_pct(r.nojit);
+        assert!(
+            nojit > 45.0,
+            "{}: NoJIT should be drastically slower, got {nojit:.1}%",
+            r.name
+        );
+        assert!(
+            nojit > 3.0 * o4.max(1.0),
+            "{}: JITBULL ({o4:.1}%) must beat NoJIT ({nojit:.1}%) clearly",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn fig6_overhead_flattens_with_db_size() {
+    // Run the scalability sweep on a subset to keep the test fast.
+    let workloads: Vec<_> = octane_analogues()
+        .into_iter()
+        .filter(|w| matches!(w.name, "Splay" | "Richards" | "Crypto"))
+        .collect();
+    let rows = fig6(&workloads);
+    for r in &rows {
+        let o1 = r.overhead_pct(1);
+        let o8 = r.overhead_pct(8);
+        // Paper: max 22 %, growth flattens beyond #4.
+        assert!(o8 < 35.0, "{}: #8 overhead {o8:.1}%", r.name);
+        assert!(
+            o8 >= o1 - 6.0,
+            "{}: overhead collapsed unexpectedly",
+            r.name
+        );
+        let o4 = r.overhead_pct(4);
+        let tail_growth = o8 - o4;
+        assert!(
+            tail_growth.abs() < 10.0,
+            "{}: overhead did not stabilize beyond #4 ({tail_growth:.1}%)",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn db_construction_is_deterministic() {
+    let (a, _) = db_with(4);
+    let (b, _) = db_with(4);
+    assert_eq!(a, b);
+}
