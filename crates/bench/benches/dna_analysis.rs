@@ -1,10 +1,10 @@
-//! Criterion bench for the core JITBULL operations: Δ extraction from a
+//! Wall-clock bench for the core JITBULL operations: Δ extraction from a
 //! trace and comparison against databases of increasing size — the raw
 //! costs behind the paper's overhead figures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jitbull::{CompareConfig, Guard};
 use jitbull_bench::figures::db_with;
+use jitbull_bench::timing::bench;
 use jitbull_frontend::parse_program;
 use jitbull_jit::pipeline::{optimize, OptimizeOptions, N_SLOTS};
 use jitbull_jit::VulnConfig;
@@ -28,22 +28,17 @@ fn representative_trace() -> jitbull_mir::PassTrace {
     .trace
 }
 
-fn bench_dna(c: &mut Criterion) {
+fn main() {
     let trace = representative_trace();
-    c.bench_function("dna_extract_stream_fn", |b| {
-        b.iter(|| Guard::extract(&trace, N_SLOTS))
+    bench("dna_extract_stream_fn", 5, 50, || {
+        Guard::extract(&trace, N_SLOTS)
     });
-    let mut group = c.benchmark_group("dna_analyze_by_db_size");
-    group.sample_size(20);
+    println!("dna_analyze_by_db_size");
     for n in [1usize, 4, 8] {
         let (db, _) = db_with(n);
         let guard = Guard::new(db, CompareConfig::default());
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| guard.analyze(&trace, N_SLOTS))
+        bench(&format!("db_size_{n}"), 5, 20, || {
+            guard.analyze(&trace, N_SLOTS)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dna);
-criterion_main!(benches);

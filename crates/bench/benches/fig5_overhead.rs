@@ -1,6 +1,5 @@
-//! Criterion bench for the Figure-5 configurations on one representative
-//! workload: wall-clock time of the whole simulated stack per
-//! configuration.
+//! Wall-clock bench for the Figure-5 configurations on one representative
+//! workload: host time of the whole simulated stack per configuration.
 //!
 //! NOTE: wall-clock here measures the *host cost of running the
 //! simulator* (the interpreter loop is cheaper per op for the host than
@@ -8,61 +7,50 @@
 //! The paper's metric is the deterministic simulated-cycle count, which
 //! `repro -- fig5` reports.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use jitbull_bench::figures::db_with;
+use jitbull_bench::timing::bench;
 use jitbull_jit::engine::EngineConfig;
 use jitbull_workloads::{run_workload, workload};
 
-fn bench_fig5(c: &mut Criterion) {
+fn main() {
     let w = workload("Crypto").expect("workload exists");
     let (db1, vulns1) = db_with(1);
     let (db4, vulns4) = db_with(4);
-    let mut group = c.benchmark_group("fig5_crypto");
-    group.sample_size(10);
-    group.bench_function("jit", |b| {
-        b.iter(|| run_workload(&w, EngineConfig::default(), None).unwrap())
+    println!("fig5_crypto");
+    bench("jit", 2, 10, || {
+        run_workload(&w, EngineConfig::default(), None).unwrap()
     });
-    group.bench_function("nojit", |b| {
-        b.iter(|| {
-            run_workload(
-                &w,
-                EngineConfig {
-                    jit_enabled: false,
-                    ..Default::default()
-                },
-                None,
-            )
-            .unwrap()
-        })
+    bench("nojit", 2, 10, || {
+        run_workload(
+            &w,
+            EngineConfig {
+                jit_enabled: false,
+                ..Default::default()
+            },
+            None,
+        )
+        .unwrap()
     });
-    group.bench_function("jitbull_1", |b| {
-        b.iter(|| {
-            run_workload(
-                &w,
-                EngineConfig {
-                    vulns: vulns1.clone(),
-                    ..Default::default()
-                },
-                Some(db1.clone()),
-            )
-            .unwrap()
-        })
+    bench("jitbull_1", 2, 10, || {
+        run_workload(
+            &w,
+            EngineConfig {
+                vulns: vulns1.clone(),
+                ..Default::default()
+            },
+            Some(db1.clone()),
+        )
+        .unwrap()
     });
-    group.bench_function("jitbull_4", |b| {
-        b.iter(|| {
-            run_workload(
-                &w,
-                EngineConfig {
-                    vulns: vulns4.clone(),
-                    ..Default::default()
-                },
-                Some(db4.clone()),
-            )
-            .unwrap()
-        })
+    bench("jitbull_4", 2, 10, || {
+        run_workload(
+            &w,
+            EngineConfig {
+                vulns: vulns4.clone(),
+                ..Default::default()
+            },
+            Some(db4.clone()),
+        )
+        .unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig5);
-criterion_main!(benches);

@@ -1,32 +1,25 @@
-//! Criterion bench for the Figure-6 database-size sweep on one workload.
+//! Wall-clock bench for the Figure-6 database-size sweep on one workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use jitbull_bench::figures::db_with;
+use jitbull_bench::timing::bench;
 use jitbull_jit::engine::EngineConfig;
 use jitbull_workloads::{run_workload, workload};
 
-fn bench_fig6(c: &mut Criterion) {
+fn main() {
     let w = workload("Splay").expect("workload exists");
-    let mut group = c.benchmark_group("fig6_splay_db_size");
-    group.sample_size(10);
+    println!("fig6_splay_db_size");
     for n in [1usize, 2, 4, 8] {
         let (db, vulns) = db_with(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                run_workload(
-                    &w,
-                    EngineConfig {
-                        vulns: vulns.clone(),
-                        ..Default::default()
-                    },
-                    Some(db.clone()),
-                )
-                .unwrap()
-            })
+        bench(&format!("db_size_{n}"), 2, 10, || {
+            run_workload(
+                &w,
+                EngineConfig {
+                    vulns: vulns.clone(),
+                    ..Default::default()
+                },
+                Some(db.clone()),
+            )
+            .unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! cargo run -p jitbull-bench --release --bin repro -- fig5
 //! ```
 
-use jitbull_bench::{ablation, figures, registry, render_table, security};
+use jitbull_bench::{ablation, figures, obs, registry, render_table, security};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +21,7 @@ fn main() {
         "ablation" => ablation(),
         "ablation-policy" => ablation_policy(),
         "fuzz" => fuzz(),
+        "obs" => observability(),
         "all" => {
             table1();
             window();
@@ -31,10 +32,11 @@ fn main() {
             ablation();
             ablation_policy();
             fuzz();
+            observability();
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [table1|window|security|fig4|fig5|fig6|ablation|ablation-policy|fuzz|all]");
+            eprintln!("usage: repro [table1|window|security|fig4|fig5|fig6|ablation|ablation-policy|fuzz|obs|all]");
             std::process::exit(2);
         }
     }
@@ -144,6 +146,21 @@ fn fuzz() {
         shrink_num as f64 * 100.0 / shrink_den.max(1) as f64
     );
     println!("database built   : {db}");
+}
+
+fn observability() {
+    heading("Observability — engine/guard telemetry on the workload suite (JITBULL #4)");
+    let workloads = jitbull_workloads::all_workloads();
+    let (rows, slots) = obs::observe_workloads(&workloads, 4);
+    print!("{}", obs::render_rows(&rows));
+    println!("\ncycles by pipeline slot (whole suite, busiest first):\n");
+    print!("{}", obs::render_slots(&slots));
+    let (plain, observed) = obs::empty_db_overhead(&workloads[0]);
+    println!(
+        "\nempty-DB sanity ({}): plain JIT {plain} cycles, observed JITBULL#0 {observed} cycles (delta {})",
+        workloads[0].name,
+        observed as i64 - plain as i64
+    );
 }
 
 fn ablation_policy() {

@@ -13,6 +13,7 @@
 //! | Figure 6 (scalability) | [`figures`] | `fig6` |
 //! | Thr/Ratio ablation | [`ablation`] | `ablation` |
 //! | Policy ablation | [`ablation`] | `ablation-policy` |
+//! | Telemetry report | [`obs`] | `obs` |
 //!
 //! Absolute numbers come from the deterministic cycle model, so they will
 //! not equal the paper's milliseconds; the *shapes* (who wins, by what
@@ -21,8 +22,10 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod obs;
 pub mod registry;
 pub mod security;
+pub mod timing;
 
 /// Renders a fixed-width text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

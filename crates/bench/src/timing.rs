@@ -1,0 +1,81 @@
+//! A minimal wall-clock micro-bench harness (the repo builds offline, so
+//! no `criterion`): fixed warm-up, fixed sample count, min/median/mean
+//! reporting. Wall-clock here measures the *host cost of running the
+//! simulator*; the paper's metric is the deterministic simulated-cycle
+//! count, which `repro` reports.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's timing samples.
+#[derive(Debug, Clone)]
+pub struct Samples {
+    /// Benchmark label.
+    pub name: String,
+    /// Per-iteration wall-clock durations, sorted ascending.
+    pub durations: Vec<Duration>,
+}
+
+impl Samples {
+    /// Fastest observed iteration.
+    #[must_use]
+    pub fn min(&self) -> Duration {
+        self.durations.first().copied().unwrap_or_default()
+    }
+
+    /// Median iteration.
+    #[must_use]
+    pub fn median(&self) -> Duration {
+        self.durations
+            .get(self.durations.len() / 2)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Mean iteration.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.durations.is_empty() {
+            return Duration::ZERO;
+        }
+        self.durations.iter().sum::<Duration>() / self.durations.len() as u32
+    }
+}
+
+/// Times `f` for `samples` iterations after `warmup` untimed ones and
+/// prints a one-line summary (min / median / mean).
+pub fn bench<T>(name: &str, warmup: usize, samples: usize, mut f: impl FnMut() -> T) -> Samples {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut durations = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        durations.push(start.elapsed());
+    }
+    durations.sort_unstable();
+    let s = Samples {
+        name: name.to_string(),
+        durations,
+    };
+    println!(
+        "{:<28} min {:>12?}  median {:>12?}  mean {:>12?}  (n={samples})",
+        s.name,
+        s.min(),
+        s.median(),
+        s.mean()
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_the_requested_samples() {
+        let s = bench("noop", 1, 5, || 1 + 1);
+        assert_eq!(s.durations.len(), 5);
+        assert!(s.min() <= s.median() && s.median() <= *s.durations.last().unwrap());
+    }
+}

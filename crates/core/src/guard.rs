@@ -2,6 +2,7 @@
 //! against the database, and account the analysis cost.
 
 use jitbull_mir::PassTrace;
+use jitbull_telemetry::{Collector, Event};
 
 use crate::compare::{dangerous_passes, CompareConfig};
 use crate::db::DnaDatabase;
@@ -108,6 +109,24 @@ impl Guard {
             cost_cycles: cost,
             dna,
         }
+    }
+
+    /// Like [`Guard::analyze`], additionally reporting the analysis as an
+    /// [`Event::GuardAnalyzed`] to `collector`.
+    pub fn analyze_observed(
+        &self,
+        trace: &PassTrace,
+        n_slots: usize,
+        collector: &mut dyn Collector,
+    ) -> Analysis {
+        let analysis = self.analyze(trace, n_slots);
+        collector.record(Event::GuardAnalyzed {
+            function: trace.function.clone(),
+            matches: analysis.matches.len() as u64,
+            dangerous: analysis.dangerous.len() as u64,
+            cost_cycles: analysis.cost_cycles,
+        });
+        analysis
     }
 
     /// Extracts DNA only (step 1: building database entries from a VDC

@@ -49,4 +49,4 @@ pub use db::{DnaDatabase, VdcEntry};
 pub use dna::{Chain, Dna, PassDelta};
 pub use extract::{extract_delta, extract_dna};
 pub use guard::{Analysis, Guard};
-pub use policy::{decide, Decision};
+pub use policy::{decide, decide_observed, Decision};

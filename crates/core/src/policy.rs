@@ -1,5 +1,7 @@
 //! The go / no-go policy (paper §V, scenarios 1–3).
 
+use jitbull_telemetry::{Collector, Event, Verdict};
+
 /// JITBULL's verdict for one compilation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Decision {
@@ -39,6 +41,28 @@ pub fn decide(dangerous: Vec<usize>, disableable: impl Fn(usize) -> bool) -> Dec
     } else {
         Decision::NoJit(dangerous)
     }
+}
+
+/// Like [`decide`], additionally reporting the verdict for `function` as
+/// an [`Event::PolicyDecision`] to `collector`.
+pub fn decide_observed(
+    dangerous: Vec<usize>,
+    disableable: impl Fn(usize) -> bool,
+    function: &str,
+    collector: &mut dyn Collector,
+) -> Decision {
+    let decision = decide(dangerous, disableable);
+    let verdict = match &decision {
+        Decision::Go => Verdict::Go,
+        Decision::Recompile(_) => Verdict::Recompile,
+        Decision::NoJit(_) => Verdict::NoJit,
+    };
+    collector.record(Event::PolicyDecision {
+        function: function.to_owned(),
+        verdict,
+        slots: decision.dangerous_passes().to_vec(),
+    });
+    decision
 }
 
 #[cfg(test)]

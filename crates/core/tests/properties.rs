@@ -1,14 +1,15 @@
-//! Property tests on the Δ extractor and Δ comparator.
+//! Randomized property tests on the Δ extractor and Δ comparator, driven
+//! by the repo's seeded PRNG (deterministic: every run explores the same
+//! cases, failures reproduce by seed).
 
 use std::collections::BTreeSet;
 use std::rc::Rc;
-
-use proptest::prelude::*;
 
 use jitbull::compare::{compare_chains, CompareConfig};
 use jitbull::extract::extract_delta;
 use jitbull::Chain;
 use jitbull_mir::{MirSnapshot, SnapInstr};
+use jitbull_prng::Rng;
 
 const LABELS: &[&str] = &[
     "add",
@@ -24,56 +25,57 @@ const LABELS: &[&str] = &[
     "phi",
 ];
 
+const CASES: u64 = 128;
+
 /// A random DAG snapshot: instruction `k` may only reference lower ids,
 /// so the graph is acyclic by construction (like freshly built MIR).
-fn snapshot() -> impl Strategy<Value = MirSnapshot> {
-    proptest::collection::vec(
-        (
-            0..LABELS.len(),
-            proptest::collection::vec(any::<u16>(), 0..3),
-        ),
-        1..24,
-    )
-    .prop_map(|nodes| {
-        let n = nodes.len() as u32;
-        let instrs = nodes
-            .into_iter()
-            .enumerate()
-            .map(|(id, (label, refs))| SnapInstr {
-                id: id as u32,
-                label: Rc::from(LABELS[label]),
-                operands: if id == 0 {
-                    vec![]
-                } else {
-                    refs.into_iter().map(|r| r as u32 % id as u32).collect()
-                },
-            })
-            .collect();
-        let _ = n;
-        MirSnapshot { instrs }
-    })
+fn snapshot(rng: &mut Rng) -> MirSnapshot {
+    let n = rng.gen_range(1..24usize);
+    let instrs = (0..n)
+        .map(|id| SnapInstr {
+            id: id as u32,
+            label: Rc::from(*rng.pick(LABELS)),
+            operands: if id == 0 {
+                vec![]
+            } else {
+                (0..rng.gen_range(0..3usize))
+                    .map(|_| rng.gen_range(0..id as u32))
+                    .collect()
+            },
+        })
+        .collect();
+    MirSnapshot { instrs }
 }
 
-fn chain_set() -> impl Strategy<Value = BTreeSet<Chain>> {
-    proptest::collection::btree_set(
-        proptest::collection::vec((0..LABELS.len()).prop_map(|i| Rc::from(LABELS[i])), 2..5),
-        0..12,
-    )
+fn chain_set(rng: &mut Rng) -> BTreeSet<Chain> {
+    let n = rng.gen_range(0..12usize);
+    (0..n)
+        .map(|_| {
+            (0..rng.gen_range(2..5usize))
+                .map(|_| Rc::from(*rng.pick(LABELS)))
+                .collect::<Chain>()
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// A pass that changes nothing has empty DNA.
-    #[test]
-    fn identical_snapshots_give_empty_delta(s in snapshot()) {
+/// A pass that changes nothing has empty DNA.
+#[test]
+fn identical_snapshots_give_empty_delta() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let s = snapshot(&mut rng);
         let delta = extract_delta(&s, &s);
-        prop_assert!(delta.is_empty(), "{delta:?}");
+        assert!(delta.is_empty(), "seed {seed}: {delta:?}");
     }
+}
 
-    /// Renumbering (an id permutation) is invisible to the extractor.
-    #[test]
-    fn id_permutation_gives_empty_delta(s in snapshot(), offset in 1u32..1000) {
+/// Renumbering (an id permutation) is invisible to the extractor.
+#[test]
+fn id_permutation_gives_empty_delta() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let s = snapshot(&mut rng);
+        let offset = rng.gen_range(1..1000u32);
         let renumbered = MirSnapshot {
             instrs: s
                 .instrs
@@ -86,30 +88,44 @@ proptest! {
                 .collect(),
         };
         let delta = extract_delta(&s, &renumbered);
-        prop_assert!(delta.is_empty(), "{delta:?}");
+        assert!(delta.is_empty(), "seed {seed}: {delta:?}");
     }
+}
 
-    /// Deltas are anti-symmetric: swapping before/after swaps removed and
-    /// added.
-    #[test]
-    fn delta_is_antisymmetric(a in snapshot(), b in snapshot()) {
+/// Deltas are anti-symmetric: swapping before/after swaps removed and
+/// added.
+#[test]
+fn delta_is_antisymmetric() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = snapshot(&mut rng);
+        let b = snapshot(&mut rng);
         let ab = extract_delta(&a, &b);
         let ba = extract_delta(&b, &a);
-        prop_assert_eq!(ab.removed, ba.added);
-        prop_assert_eq!(ab.added, ba.removed);
+        assert_eq!(ab.removed, ba.added, "seed {seed}");
+        assert_eq!(ab.added, ba.removed, "seed {seed}");
     }
+}
 
-    /// Self-comparison matches exactly when the set clears `Thr`.
-    #[test]
-    fn self_comparison_thresholds(set in chain_set(), thr in 1usize..6) {
+/// Self-comparison matches exactly when the set clears `Thr`.
+#[test]
+fn self_comparison_thresholds() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let set = chain_set(&mut rng);
+        let thr = rng.gen_range(1..6usize);
         let config = CompareConfig { thr, ratio: 0.5 };
         let matches = compare_chains(&set, &set, &config);
-        prop_assert_eq!(matches, set.len() >= thr);
+        assert_eq!(matches, set.len() >= thr, "seed {seed}");
     }
+}
 
-    /// Disjoint chain sets never match.
-    #[test]
-    fn disjoint_sets_never_match(set in chain_set()) {
+/// Disjoint chain sets never match.
+#[test]
+fn disjoint_sets_never_match() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let set = chain_set(&mut rng);
         let config = CompareConfig::default();
         let relabeled: BTreeSet<Chain> = set
             .iter()
@@ -119,18 +135,24 @@ proptest! {
                 c
             })
             .collect();
-        prop_assert!(!compare_chains(&set, &relabeled, &config));
+        assert!(!compare_chains(&set, &relabeled, &config), "seed {seed}");
     }
+}
 
-    /// Adding the same chains to both sides never breaks an existing
-    /// match (comparator monotonicity under shared growth).
-    #[test]
-    fn shared_growth_preserves_matches(a in chain_set(), b in chain_set(), extra in chain_set()) {
+/// Adding the same chains to both sides never breaks an existing match
+/// (comparator monotonicity under shared growth).
+#[test]
+fn shared_growth_preserves_matches() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = chain_set(&mut rng);
+        let b = chain_set(&mut rng);
+        let extra = chain_set(&mut rng);
         let config = CompareConfig::default();
         if compare_chains(&a, &b, &config) {
             let a2: BTreeSet<Chain> = a.union(&extra).cloned().collect();
             let b2: BTreeSet<Chain> = b.union(&extra).cloned().collect();
-            prop_assert!(compare_chains(&a2, &b2, &config));
+            assert!(compare_chains(&a2, &b2, &config), "seed {seed}");
         }
     }
 }

@@ -1,12 +1,13 @@
-//! Property test: for any well-formed AST, `parse(print(ast)) == ast`
-//! in both pretty and minified styles. This is what lets the variant
-//! generators treat print-then-reparse as a lossless pipeline.
-
-use proptest::prelude::*;
+//! Randomized property test: for any well-formed AST,
+//! `parse(print(ast)) == ast` in both pretty and minified styles. This is
+//! what lets the variant generators treat print-then-reparse as a
+//! lossless pipeline. Driven by the repo's seeded PRNG, so every run
+//! explores the same cases and failures reproduce by seed.
 
 use jitbull_frontend::ast::{BinOp, Expr, FunctionDecl, Program, Stmt, Target, UnOp};
 use jitbull_frontend::printer::{print_program_with, Style};
 use jitbull_frontend::{parse_program, print_program};
+use jitbull_prng::Rng;
 
 const KEYWORDS: &[&str] = &[
     "var",
@@ -30,179 +31,205 @@ const KEYWORDS: &[&str] = &[
     "delete",
 ];
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,5}".prop_filter("not a keyword", |s| !KEYWORDS.contains(&s.as_str()))
+const CASES: u64 = 192;
+
+fn ident(rng: &mut Rng) -> String {
+    loop {
+        let mut s = String::new();
+        s.push(rng.gen_range(b'a'..b'z' + 1) as char);
+        for _ in 0..rng.gen_range(0..6usize) {
+            let tail = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+            s.push(*rng.pick(tail) as char);
+        }
+        if !KEYWORDS.contains(&s.as_str()) {
+            return s;
+        }
+    }
 }
 
 /// Property keys that are printable bare (identifier-shaped).
-fn prop_name() -> impl Strategy<Value = String> {
-    ident()
+fn prop_name(rng: &mut Rng) -> String {
+    ident(rng)
 }
 
-fn number() -> impl Strategy<Value = f64> {
+fn number(rng: &mut Rng) -> f64 {
     // Non-negative finite numbers: JS has no negative literals (a leading
     // minus parses as unary negation), and NaN has no literal at all.
-    prop_oneof![
-        (0u32..1000).prop_map(|n| n as f64),
-        (0.0f64..1e6).prop_filter("finite", |n| n.is_finite()),
-    ]
+    if rng.gen_bool(0.5) {
+        rng.gen_range(0..1000u32) as f64
+    } else {
+        rng.next_f64() * 1e6
+    }
 }
 
-fn string_lit() -> impl Strategy<Value = String> {
+fn string_lit(rng: &mut Rng) -> String {
     // Printable ASCII incl. the characters the escaper handles.
-    proptest::collection::vec(
-        prop_oneof![
-            proptest::char::range('a', 'z').prop_map(|c| c),
-            Just('"'),
-            Just('\\'),
-            Just('\n'),
-            Just('\t'),
-            Just(' '),
-        ],
-        0..8,
-    )
-    .prop_map(|cs| cs.into_iter().collect())
+    let pool: &[char] = &['a', 'b', 'z', 'q', '"', '\\', '\n', '\t', ' '];
+    (0..rng.gen_range(0..8usize))
+        .map(|_| *rng.pick(pool))
+        .collect()
 }
 
-fn binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::Div),
-        Just(BinOp::Mod),
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::StrictEq),
-        Just(BinOp::StrictNe),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-        Just(BinOp::BitAnd),
-        Just(BinOp::BitOr),
-        Just(BinOp::BitXor),
-        Just(BinOp::Shl),
-        Just(BinOp::Shr),
-        Just(BinOp::Ushr),
-    ]
+fn binop(rng: &mut Rng) -> BinOp {
+    *rng.pick(&[
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Mod,
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::StrictEq,
+        BinOp::StrictNe,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+        BinOp::BitAnd,
+        BinOp::BitOr,
+        BinOp::BitXor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::Ushr,
+    ])
 }
 
-fn unop() -> impl Strategy<Value = UnOp> {
-    prop_oneof![
-        Just(UnOp::Neg),
-        Just(UnOp::Not),
-        Just(UnOp::BitNot),
-        Just(UnOp::Plus),
-        Just(UnOp::Typeof),
-    ]
+fn unop(rng: &mut Rng) -> UnOp {
+    *rng.pick(&[UnOp::Neg, UnOp::Not, UnOp::BitNot, UnOp::Plus, UnOp::Typeof])
 }
 
-fn expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        number().prop_map(Expr::Number),
-        string_lit().prop_map(Expr::Str),
-        any::<bool>().prop_map(Expr::Bool),
-        Just(Expr::Undefined),
-        Just(Expr::Null),
-        Just(Expr::This),
-        ident().prop_map(Expr::Var),
-    ];
-    leaf.prop_recursive(3, 32, 4, |inner| {
-        let target = prop_oneof![
-            ident().prop_map(Target::Var),
-            (inner.clone(), inner.clone())
-                .prop_map(|(b, i)| Target::Index(Box::new(b), Box::new(i))),
-            (inner.clone(), prop_name()).prop_map(|(b, n)| Target::Prop(Box::new(b), n)),
-        ];
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..4).prop_map(Expr::Array),
-            proptest::collection::vec((prop_name(), inner.clone()), 0..3).prop_map(Expr::Object),
-            (binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
-                op,
-                Box::new(a),
-                Box::new(b)
-            )),
-            (unop(), inner.clone()).prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::LogicalAnd(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::LogicalOr(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, a, b)| { Expr::Conditional(Box::new(c), Box::new(a), Box::new(b)) }),
-            (target.clone(), inner.clone()).prop_map(|(t, v)| Expr::Assign(t, Box::new(v))),
-            (
-                inner.clone(),
-                proptest::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(callee, args)| Expr::Call(Box::new(callee), args)),
-            (ident(), proptest::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(n, args)| Expr::New(n, args)),
-            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
-            (inner.clone(), prop_name()).prop_map(|(b, n)| Expr::Prop(Box::new(b), n)),
-            (ident(), any::<bool>(), any::<bool>()).prop_map(|(n, pre, inc)| Expr::IncDec {
-                target: Target::Var(n),
-                delta: if inc { 1 } else { -1 },
-                prefix: pre,
-            }),
-        ]
-    })
+fn leaf_expr(rng: &mut Rng) -> Expr {
+    match rng.gen_range(0..7u32) {
+        0 => Expr::Number(number(rng)),
+        1 => Expr::Str(string_lit(rng)),
+        2 => Expr::Bool(rng.gen_bool(0.5)),
+        3 => Expr::Undefined,
+        4 => Expr::Null,
+        5 => Expr::This,
+        _ => Expr::Var(ident(rng)),
+    }
 }
 
-fn stmt() -> impl Strategy<Value = Stmt> {
-    let simple = prop_oneof![
-        (ident(), proptest::option::of(expr())).prop_map(|(n, init)| Stmt::VarDecl(n, init)),
-        expr().prop_map(Stmt::Expr),
-        proptest::option::of(expr()).prop_map(Stmt::Return),
-        Just(Stmt::Break),
-        Just(Stmt::Continue),
-    ];
-    simple.prop_recursive(2, 16, 3, |inner| {
-        prop_oneof![
-            (
-                expr(),
-                proptest::collection::vec(inner.clone(), 0..3),
-                proptest::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(c, a, b)| Stmt::If(c, a, b)),
-            (expr(), proptest::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(c, b)| Stmt::While(c, b)),
-            (
-                proptest::option::of((ident(), expr())),
-                proptest::option::of(expr()),
-                proptest::option::of(expr()),
-                proptest::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(init, cond, step, body)| Stmt::For {
-                    init: init.map(|(n, e)| Box::new(Stmt::VarDecl(n, Some(e)))),
-                    cond,
-                    step,
-                    body,
-                }),
-            proptest::collection::vec(inner, 1..3).prop_map(Stmt::Block),
-        ]
-    })
+fn exprs(rng: &mut Rng, depth: u32, max: usize) -> Vec<Expr> {
+    (0..rng.gen_range(0..max))
+        .map(|_| expr(rng, depth))
+        .collect()
 }
 
-fn program() -> impl Strategy<Value = Program> {
-    (
-        proptest::collection::vec(
-            (
-                ident(),
-                proptest::collection::vec(ident(), 0..3),
-                proptest::collection::vec(stmt(), 0..4),
-            ),
-            0..3,
-        ),
-        proptest::collection::vec(stmt(), 0..4),
-    )
-        .prop_map(|(funcs, top_level)| Program {
-            functions: funcs
-                .into_iter()
-                .map(|(name, params, body)| FunctionDecl { name, params, body })
+fn target(rng: &mut Rng, depth: u32) -> Target {
+    match rng.gen_range(0..3u32) {
+        0 => Target::Var(ident(rng)),
+        1 => Target::Index(Box::new(expr(rng, depth)), Box::new(expr(rng, depth))),
+        _ => Target::Prop(Box::new(expr(rng, depth)), prop_name(rng)),
+    }
+}
+
+fn expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        return leaf_expr(rng);
+    }
+    let d = depth - 1;
+    match rng.gen_range(0..13u32) {
+        0 => Expr::Array(exprs(rng, d, 4)),
+        1 => Expr::Object(
+            (0..rng.gen_range(0..3usize))
+                .map(|_| (prop_name(rng), expr(rng, d)))
                 .collect(),
-            top_level,
-        })
+        ),
+        2 => Expr::Binary(binop(rng), Box::new(expr(rng, d)), Box::new(expr(rng, d))),
+        3 => Expr::Unary(unop(rng), Box::new(expr(rng, d))),
+        4 => Expr::LogicalAnd(Box::new(expr(rng, d)), Box::new(expr(rng, d))),
+        5 => Expr::LogicalOr(Box::new(expr(rng, d)), Box::new(expr(rng, d))),
+        6 => Expr::Conditional(
+            Box::new(expr(rng, d)),
+            Box::new(expr(rng, d)),
+            Box::new(expr(rng, d)),
+        ),
+        7 => Expr::Assign(target(rng, d), Box::new(expr(rng, d))),
+        8 => Expr::Call(Box::new(expr(rng, d)), exprs(rng, d, 3)),
+        9 => Expr::New(ident(rng), exprs(rng, d, 3)),
+        10 => Expr::Index(Box::new(expr(rng, d)), Box::new(expr(rng, d))),
+        11 => Expr::Prop(Box::new(expr(rng, d)), prop_name(rng)),
+        _ => Expr::IncDec {
+            target: Target::Var(ident(rng)),
+            delta: if rng.gen_bool(0.5) { 1 } else { -1 },
+            prefix: rng.gen_bool(0.5),
+        },
+    }
+}
+
+fn stmts(rng: &mut Rng, depth: u32, max: usize) -> Vec<Stmt> {
+    (0..rng.gen_range(0..max))
+        .map(|_| stmt(rng, depth))
+        .collect()
+}
+
+fn simple_stmt(rng: &mut Rng) -> Stmt {
+    match rng.gen_range(0..5u32) {
+        0 => Stmt::VarDecl(
+            ident(rng),
+            if rng.gen_bool(0.5) {
+                Some(expr(rng, 2))
+            } else {
+                None
+            },
+        ),
+        1 => Stmt::Expr(expr(rng, 3)),
+        2 => Stmt::Return(if rng.gen_bool(0.5) {
+            Some(expr(rng, 2))
+        } else {
+            None
+        }),
+        3 => Stmt::Break,
+        _ => Stmt::Continue,
+    }
+}
+
+fn stmt(rng: &mut Rng, depth: u32) -> Stmt {
+    if depth == 0 || rng.gen_bool(0.4) {
+        return simple_stmt(rng);
+    }
+    let d = depth - 1;
+    match rng.gen_range(0..4u32) {
+        0 => Stmt::If(expr(rng, 2), stmts(rng, d, 3), stmts(rng, d, 3)),
+        1 => Stmt::While(expr(rng, 2), stmts(rng, d, 3)),
+        2 => Stmt::For {
+            init: if rng.gen_bool(0.5) {
+                Some(Box::new(Stmt::VarDecl(ident(rng), Some(expr(rng, 2)))))
+            } else {
+                None
+            },
+            cond: if rng.gen_bool(0.5) {
+                Some(expr(rng, 2))
+            } else {
+                None
+            },
+            step: if rng.gen_bool(0.5) {
+                Some(expr(rng, 2))
+            } else {
+                None
+            },
+            body: stmts(rng, d, 3),
+        },
+        _ => Stmt::Block(
+            (0..rng.gen_range(1..3usize))
+                .map(|_| stmt(rng, d))
+                .collect(),
+        ),
+    }
+}
+
+fn program(rng: &mut Rng) -> Program {
+    Program {
+        functions: (0..rng.gen_range(0..3usize))
+            .map(|_| FunctionDecl {
+                name: ident(rng),
+                params: (0..rng.gen_range(0..3usize)).map(|_| ident(rng)).collect(),
+                body: stmts(rng, 2, 4),
+            })
+            .collect(),
+        top_level: stmts(rng, 2, 4),
+    }
 }
 
 /// Collapses the parse-level representation differences the printer
@@ -255,24 +282,36 @@ fn normalize(p: &Program) -> Program {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
-
-    #[test]
-    fn pretty_print_round_trips(p in program()) {
+#[test]
+fn pretty_print_round_trips() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let p = program(&mut rng);
         let expected = normalize(&p);
         let printed = print_program(&p);
-        let reparsed = parse_program(&printed)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
-        prop_assert_eq!(&normalize(&reparsed), &expected, "printed:\n{}", printed);
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
+        assert_eq!(
+            normalize(&reparsed),
+            expected,
+            "seed {seed}, printed:\n{printed}"
+        );
     }
+}
 
-    #[test]
-    fn minified_print_round_trips(p in program()) {
+#[test]
+fn minified_print_round_trips() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let p = program(&mut rng);
         let expected = normalize(&p);
         let printed = print_program_with(&p, Style::Minified);
-        let reparsed = parse_program(&printed)
-            .map_err(|e| TestCaseError::fail(format!("{e}\n{printed}")))?;
-        prop_assert_eq!(&normalize(&reparsed), &expected, "printed:\n{}", printed);
+        let reparsed =
+            parse_program(&printed).unwrap_or_else(|e| panic!("seed {seed}: {e}\n{printed}"));
+        assert_eq!(
+            normalize(&reparsed),
+            expected,
+            "seed {seed}, printed:\n{printed}"
+        );
     }
 }

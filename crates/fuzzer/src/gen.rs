@@ -8,8 +8,7 @@
 //! (length manipulation, `pop`/`push`, masked/offset/induction indexes)
 //! with benign arithmetic filler.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use jitbull_prng::Rng;
 
 /// Generator knobs.
 #[derive(Debug, Clone)]
@@ -34,7 +33,7 @@ impl Default for GenConfig {
 
 /// Generates one program.
 pub fn generate(config: &GenConfig) -> String {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut body = String::new();
     body.push_str("  var t = 0;\n");
     for k in 0..config.body_len {
@@ -58,7 +57,7 @@ pub fn generate(config: &GenConfig) -> String {
     )
 }
 
-fn index_expr(rng: &mut StdRng) -> String {
+fn index_expr(rng: &mut Rng) -> String {
     match rng.gen_range(0..5) {
         0 => "i".to_string(),
         1 => format!("i & {}", [7, 15, 255, 1023][rng.gen_range(0..4)]),
@@ -68,7 +67,7 @@ fn index_expr(rng: &mut StdRng) -> String {
     }
 }
 
-fn statement(rng: &mut StdRng, n: usize) -> String {
+fn statement(rng: &mut Rng, n: usize) -> String {
     match rng.gen_range(0..10) {
         // Dangerous shapes.
         0 => format!("  arr.length = {};\n", [4usize, 8, 16][rng.gen_range(0..3)]),

@@ -5,6 +5,7 @@ use std::collections::HashSet;
 use jitbull::{CompareConfig, DnaDatabase, Guard};
 use jitbull_jit::engine::{Engine, EngineConfig};
 use jitbull_jit::VulnConfig;
+use jitbull_telemetry::{Collector, Event, NoopCollector};
 use jitbull_vdc::dna::{extract_program_dna, extract_program_dna_with};
 use jitbull_vdc::validate::run_script;
 use jitbull_vdc::VdcOutcome;
@@ -60,6 +61,22 @@ pub fn run_campaign(
     count: u64,
     vulns: &VulnConfig,
 ) -> Result<CampaignReport, VmError> {
+    run_campaign_observed(first_seed, count, vulns, &mut NoopCollector)
+}
+
+/// Like [`run_campaign`], additionally reporting one
+/// [`Event::FuzzSeed`] per seed and a closing
+/// [`Event::FuzzCampaignFinished`] to `collector`.
+///
+/// # Errors
+///
+/// Same as [`run_campaign`].
+pub fn run_campaign_observed(
+    first_seed: u64,
+    count: u64,
+    vulns: &VulnConfig,
+    collector: &mut dyn Collector,
+) -> Result<CampaignReport, VmError> {
     let mut report = CampaignReport {
         executed: 0,
         script_errors: 0,
@@ -73,18 +90,34 @@ pub fn run_campaign(
         });
         let mut engine = Engine::new(campaign_engine(vulns.clone()));
         report.executed += 1;
-        match run_script(&source, &mut engine) {
-            Ok(VdcOutcome::Harmless { error: None }) => {}
-            Ok(VdcOutcome::Harmless { error: Some(_) }) => report.script_errors += 1,
-            Ok(outcome) => report.finds.push(Find {
-                seed,
-                source,
-                outcome,
-            }),
-            Err(VmError::OutOfFuel) => {}
+        let (find, script_error) = match run_script(&source, &mut engine) {
+            Ok(VdcOutcome::Harmless { error: None }) => (false, false),
+            Ok(VdcOutcome::Harmless { error: Some(_) }) => {
+                report.script_errors += 1;
+                (false, true)
+            }
+            Ok(outcome) => {
+                report.finds.push(Find {
+                    seed,
+                    source,
+                    outcome,
+                });
+                (true, false)
+            }
+            Err(VmError::OutOfFuel) => (false, false),
             Err(e) => return Err(e),
-        }
+        };
+        collector.record(Event::FuzzSeed {
+            seed,
+            find,
+            script_error,
+        });
     }
+    collector.record(Event::FuzzCampaignFinished {
+        executed: report.executed,
+        finds: report.finds.len() as u64,
+        script_errors: report.script_errors,
+    });
     Ok(report)
 }
 
@@ -126,14 +159,37 @@ pub fn install_until_neutralized(
     vulns: &VulnConfig,
     max_rounds: usize,
 ) -> Result<bool, VmError> {
+    install_until_neutralized_observed(db, find, vulns, max_rounds, &mut NoopCollector)
+}
+
+/// Like [`install_until_neutralized`], additionally reporting one
+/// [`Event::TriageRound`] per protected re-run to `collector`.
+///
+/// # Errors
+///
+/// Same as [`install_until_neutralized`].
+pub fn install_until_neutralized_observed(
+    db: &mut DnaDatabase,
+    find: &Find,
+    vulns: &VulnConfig,
+    max_rounds: usize,
+    collector: &mut dyn Collector,
+) -> Result<bool, VmError> {
     auto_install(db, find, vulns)?;
-    for _round in 0..max_rounds {
+    for round in 0..max_rounds {
         let mut guarded = Engine::with_guard(
             campaign_engine(vulns.clone()),
             Guard::new(db.clone(), CompareConfig::default()),
         );
         let outcome = run_script(&find.source, &mut guarded)?;
-        if !outcome.is_compromised() {
+        let neutralized = !outcome.is_compromised();
+        collector.record(Event::TriageRound {
+            seed: find.seed,
+            round: round as u64,
+            db_entries: db.len() as u64,
+            neutralized,
+        });
+        if neutralized {
             return Ok(true);
         }
         // Re-extract with the slots the guard actually disabled; if the
@@ -184,6 +240,18 @@ mod tests {
             "a fully vulnerable engine must yield finds ({} script errors)",
             report.script_errors
         );
+    }
+
+    #[test]
+    fn observed_campaign_counts_match_the_report() {
+        use jitbull_telemetry::Recorder;
+        let mut rec = Recorder::new();
+        let report = run_campaign_observed(0, 64, &VulnConfig::all(), &mut rec).expect("campaign");
+        let m = rec.metrics();
+        assert_eq!(m.counter("fuzz.seeds"), report.executed);
+        assert_eq!(m.counter("fuzz.finds"), report.finds.len() as u64);
+        assert_eq!(m.counter("fuzz.script_errors"), report.script_errors);
+        assert_eq!(m.counter("fuzz.campaigns"), 1);
     }
 
     #[test]

@@ -14,15 +14,17 @@
 //! an empty database no snapshots are taken at all — the zero-overhead
 //! property of §V.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use jitbull::{decide, Decision, Guard};
+use jitbull::{decide, decide_observed, Decision, Guard};
 use jitbull_frontend::parse_program;
 use jitbull_mir::build_mir;
+use jitbull_telemetry::{Collector, Event, Tier};
 use jitbull_vm::bytecode::{FuncId, Module};
 use jitbull_vm::interp;
-use jitbull_vm::runtime::{Outcome, Runtime, BASELINE_COST, INTERP_COST};
+use jitbull_vm::runtime::{ExploitStatus, Outcome, Runtime, BASELINE_COST, INTERP_COST};
 use jitbull_vm::{compile_program, Dispatcher, Value, VmError};
 
 use crate::executor::CompiledCode;
@@ -160,6 +162,7 @@ pub struct Engine {
     /// Cycles spent in JITBULL analysis (reported separately for the
     /// overhead breakdowns).
     pub analysis_cycles: u64,
+    collector: Option<Rc<RefCell<dyn Collector>>>,
 }
 
 impl Engine {
@@ -170,6 +173,7 @@ impl Engine {
             guard: None,
             state: HashMap::new(),
             analysis_cycles: 0,
+            collector: None,
         }
     }
 
@@ -180,6 +184,23 @@ impl Engine {
             guard: Some(guard),
             state: HashMap::new(),
             analysis_cycles: 0,
+            collector: None,
+        }
+    }
+
+    /// Attaches a telemetry collector: subsequent compilations, guard
+    /// analyses, policy verdicts, and run outcomes are reported through
+    /// it. Without a collector no event is even constructed, and the
+    /// pipeline skips its per-slot bookkeeping — observability costs
+    /// nothing unless asked for.
+    pub fn set_collector(&mut self, collector: Rc<RefCell<dyn Collector>>) {
+        self.collector = Some(collector);
+    }
+
+    #[inline]
+    fn emit(&self, make: impl FnOnce() -> Event) {
+        if let Some(c) = &self.collector {
+            c.borrow_mut().record(make());
         }
     }
 
@@ -262,6 +283,10 @@ impl Engine {
         let mut disabled: std::collections::HashSet<usize> = self.config.disabled_slots.clone();
         let mut matched: Vec<(String, String)> = Vec::new();
         for _round in 0..=N_SLOTS {
+            self.emit(|| Event::CompileStarted {
+                function: module.function(func).name.clone(),
+                tier: Tier::Ion,
+            });
             let Ok(mir) = build_mir(module, func) else {
                 self.state.entry(func).or_default().no_ion = true;
                 return;
@@ -269,9 +294,22 @@ impl Engine {
             let options = OptimizeOptions {
                 trace: jitbull_active,
                 disabled_slots: disabled.clone(),
+                stats: self.collector.is_some(),
             };
             let result = optimize(mir, &self.config.vulns, &options);
             rt.add_cycles(result.work * ION_COMPILE_COST);
+            if let Some(c) = &self.collector {
+                let mut col = c.borrow_mut();
+                for run in &result.slot_runs {
+                    col.record(Event::PassApplied {
+                        slot: run.slot,
+                        name: run.name,
+                        instrs_removed: run.instrs_before.saturating_sub(run.instrs_after),
+                        instrs_added: run.instrs_after.saturating_sub(run.instrs_before),
+                        cycles: run.work * ION_COMPILE_COST,
+                    });
+                }
+            }
             if result.broken.is_some() {
                 self.state.entry(func).or_default().no_ion = true;
                 return;
@@ -283,6 +321,10 @@ impl Engine {
                 .collect();
             fired.dedup();
             if !jitbull_active {
+                self.emit(|| Event::TierPromoted {
+                    function: module.function(func).name.clone(),
+                    tier: Tier::Ion,
+                });
                 let tier = Rc::new(self.build_tier(result.mir));
                 let st = self.state.entry(func).or_default();
                 st.ion = Some(tier);
@@ -290,7 +332,10 @@ impl Engine {
                 return;
             }
             let guard = self.guard.as_ref().expect("guard present");
-            let analysis = guard.analyze(&result.trace, N_SLOTS);
+            let analysis = match &self.collector {
+                Some(c) => guard.analyze_observed(&result.trace, N_SLOTS, &mut *c.borrow_mut()),
+                None => guard.analyze(&result.trace, N_SLOTS),
+            };
             rt.add_cycles(analysis.cost_cycles);
             self.analysis_cycles += analysis.cost_cycles;
             for (cve, function, _) in &analysis.matches {
@@ -306,7 +351,16 @@ impl Engine {
                 .filter(|s| !disabled.contains(s))
                 .collect();
             let user_disabled: Vec<usize> = self.config.disabled_slots.iter().copied().collect();
-            match decide(fresh, slot_disableable) {
+            let decision = match &self.collector {
+                Some(c) => decide_observed(
+                    fresh,
+                    slot_disableable,
+                    &module.function(func).name,
+                    &mut *c.borrow_mut(),
+                ),
+                None => decide(fresh, slot_disableable),
+            };
+            match decision {
                 Decision::Go => {
                     let jitbull_slots: Vec<usize> = {
                         let mut v: Vec<usize> = disabled
@@ -324,6 +378,10 @@ impl Engine {
                         st.no_ion = true;
                         return;
                     }
+                    self.emit(|| Event::TierPromoted {
+                        function: module.function(func).name.clone(),
+                        tier: Tier::Ion,
+                    });
                     let tier = Rc::new(self.build_tier(result.mir));
                     let st = self.state.entry(func).or_default();
                     st.disabled_slots = jitbull_slots;
@@ -396,8 +454,17 @@ impl Engine {
             Ok(_) | Err(VmError::Crash(_)) => {}
             Err(e) => return Err(e),
         }
+        let outcome = rt.into_outcome();
+        self.emit(|| Event::ExploitOutcome {
+            clean: !outcome.status.is_compromised(),
+            status: match &outcome.status {
+                ExploitStatus::Clean => "clean".to_owned(),
+                ExploitStatus::Crashed(site) => format!("crash: {site}"),
+                ExploitStatus::ShellcodeExecuted => "shellcode-executed".to_owned(),
+            },
+        });
         Ok(EngineOutcome {
-            outcome: rt.into_outcome(),
+            outcome,
             stats: self.function_stats(&module),
             nr_jit: self.nr_jit(),
             nr_disjit: self.nr_disjit(),
@@ -438,14 +505,26 @@ impl Dispatcher for Engine {
             st.invocations += 1;
             let inv = st.invocations;
             if self.config.jit_enabled {
+                let mut promoted_baseline = false;
                 if !st.baseline && inv >= self.config.baseline_threshold {
                     st.baseline = true;
                     rt.add_cycles(module.function(func).len() as u64 * BASELINE_COMPILE_COST);
+                    promoted_baseline = true;
                 }
                 let needs_ion = st.baseline
                     && st.ion.is_none()
                     && !st.no_ion
                     && inv >= self.config.ion_threshold;
+                if promoted_baseline {
+                    self.emit(|| Event::CompileStarted {
+                        function: module.function(func).name.clone(),
+                        tier: Tier::Baseline,
+                    });
+                    self.emit(|| Event::TierPromoted {
+                        function: module.function(func).name.clone(),
+                        tier: Tier::Baseline,
+                    });
+                }
                 if needs_ion {
                     self.compile_ion(rt, module, func);
                 }
@@ -545,6 +624,28 @@ mod tests {
         let out = engine.run_source_with(SUM_LOOP).unwrap();
         assert_eq!(out.analysis_cycles, 0);
         assert_eq!(out.outcome.printed, vec!["15"]);
+    }
+
+    #[test]
+    fn collector_sees_the_run_without_changing_cycles() {
+        use jitbull_telemetry::Recorder;
+        let plain = Engine::run_source(SUM_LOOP, EngineConfig::fast_test()).unwrap();
+        let mut engine = Engine::new(EngineConfig::fast_test());
+        let rec = Rc::new(RefCell::new(Recorder::new()));
+        engine.set_collector(rec.clone());
+        let observed = engine.run_source_with(SUM_LOOP).unwrap();
+        // Observation must not perturb the simulated cycle model.
+        assert_eq!(observed.outcome.cycles, plain.outcome.cycles);
+        let rec = rec.borrow();
+        let m = rec.metrics();
+        assert_eq!(m.counter("engine.compile.ion"), 1);
+        assert_eq!(m.counter("engine.promoted.ion"), 1);
+        assert!(m.counter("engine.promoted.baseline") >= 1);
+        assert_eq!(m.counter("runs.clean"), 1);
+        // Per-slot attribution covers the whole compile charge.
+        let slot_cycles: u64 = rec.slot_stats().iter().map(|s| s.cycles).sum();
+        assert_eq!(m.counter("pipeline.cycles"), slot_cycles);
+        assert!(slot_cycles > 0);
     }
 
     #[test]

@@ -246,6 +246,26 @@ pub struct OptimizeOptions {
     pub disabled_slots: HashSet<usize>,
     /// Capture before/after snapshots per slot (JITBULL enabled).
     pub trace: bool,
+    /// Record per-slot instruction counts and work units (telemetry). Off
+    /// by default, so unobserved compilations do no extra bookkeeping.
+    pub stats: bool,
+}
+
+/// Measurements for one executed slot, captured when
+/// [`OptimizeOptions::stats`] is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotRun {
+    /// Pipeline slot index.
+    pub slot: usize,
+    /// Pass name.
+    pub name: &'static str,
+    /// IR size entering the slot.
+    pub instrs_before: u64,
+    /// IR size leaving the slot.
+    pub instrs_after: u64,
+    /// Work units charged to the slot (its share of
+    /// [`OptimizeResult::work`]).
+    pub work: u64,
 }
 
 /// Result of one pipeline run.
@@ -262,6 +282,9 @@ pub struct OptimizeResult {
     pub broken: Option<String>,
     /// Total instructions processed across slots (compile-cost model).
     pub work: u64,
+    /// Per-slot measurements (empty when [`OptimizeOptions::stats`] was
+    /// off).
+    pub slot_runs: Vec<SlotRun>,
 }
 
 /// Runs the optimization pipeline over `mir`.
@@ -276,6 +299,7 @@ pub fn optimize(
         records: Vec::new(),
     };
     let mut work = 0u64;
+    let mut slot_runs = Vec::new();
     for (index, slot) in PIPELINE.iter().enumerate() {
         if options.disabled_slots.contains(&index) && slot.disableable {
             continue;
@@ -285,9 +309,19 @@ pub fn optimize(
         } else {
             None
         };
-        work += mir.instr_count() as u64;
+        let count_before = mir.instr_count() as u64;
+        work += count_before;
         (slot.run)(&mut mir, &mut cx);
         vuln::apply_vulnerabilities(index, &mut mir, &mut cx);
+        if options.stats {
+            slot_runs.push(SlotRun {
+                slot: index,
+                name: slot.name,
+                instrs_before: count_before,
+                instrs_after: mir.instr_count() as u64,
+                work: count_before,
+            });
+        }
         if let Some(before) = before {
             trace.records.push(PassRecord {
                 slot: index,
@@ -306,6 +340,7 @@ pub fn optimize(
         triggered: cx.triggered,
         broken: cx.broken,
         work,
+        slot_runs,
     }
 }
 
@@ -456,6 +491,29 @@ mod tests {
             .iter()
             .flat_map(|b| b.iter_all())
             .any(|i| matches!(i.op, jitbull_mir::MOpcode::BoundsCheck)));
+    }
+
+    #[test]
+    fn stats_capture_per_slot_runs() {
+        let mir = mir_of("function f(a, i) { return a[i] + a[i]; }", "f");
+        let result = optimize(
+            mir,
+            &VulnConfig::none(),
+            &OptimizeOptions {
+                stats: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.slot_runs.len(), N_SLOTS);
+        let total: u64 = result.slot_runs.iter().map(|r| r.work).sum();
+        assert_eq!(total, result.work, "slot work must partition total work");
+        // GVN shrinks the duplicated load chain.
+        let gvn = &result.slot_runs[slot::GVN_1];
+        assert_eq!(gvn.name, "GVN");
+        assert!(gvn.instrs_after < gvn.instrs_before);
+        // Stats off: no bookkeeping at all.
+        let again = optimize(result.mir, &VulnConfig::none(), &OptimizeOptions::default());
+        assert!(again.slot_runs.is_empty());
     }
 
     #[test]

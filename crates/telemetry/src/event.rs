@@ -1,0 +1,175 @@
+//! The typed event taxonomy: everything the engine, the guard, the
+//! fuzzer, and the workload harness can report about themselves.
+//!
+//! Events are deliberately *flat* — plain fields, no references into
+//! engine state — so a ring buffer of them is a self-contained record of
+//! a run that exporters can serialize without touching the engine again.
+
+/// An execution tier a function can be promoted into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// Baseline (unoptimized machine code) tier.
+    Baseline,
+    /// Optimizing (Ion-like) tier.
+    Ion,
+}
+
+impl Tier {
+    /// Lower-case name, used in metric keys and exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Baseline => "baseline",
+            Tier::Ion => "ion",
+        }
+    }
+}
+
+/// The JITBULL policy verdict for one analyzed compilation (paper §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// Scenario 1: use the optimized code as-is.
+    Go,
+    /// Scenario 2: recompile with the dangerous slots disabled.
+    Recompile,
+    /// Scenario 3: abandon optimized compilation for the function.
+    NoJit,
+}
+
+impl Verdict {
+    /// Lower-case name, used in metric keys and exports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Go => "go",
+            Verdict::Recompile => "recompile",
+            Verdict::NoJit => "nojit",
+        }
+    }
+}
+
+/// One structured telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A tier compilation began for `function`.
+    CompileStarted {
+        /// Source-level function name.
+        function: String,
+        /// Target tier.
+        tier: Tier,
+    },
+    /// `function` finished compiling and now executes in `tier`.
+    TierPromoted {
+        /// Source-level function name.
+        function: String,
+        /// Tier reached.
+        tier: Tier,
+    },
+    /// One pipeline slot ran during an optimizing compilation.
+    PassApplied {
+        /// Pipeline slot index (`0..N_SLOTS`).
+        slot: usize,
+        /// Pass name (several slots may share one, e.g. GVN).
+        name: &'static str,
+        /// Instructions the slot removed (net, by IR size).
+        instrs_removed: u64,
+        /// Instructions the slot added (net, by IR size).
+        instrs_added: u64,
+        /// Simulated compile cycles attributed to the slot.
+        cycles: u64,
+    },
+    /// The JITBULL guard analyzed one compilation trace.
+    GuardAnalyzed {
+        /// Function whose trace was analyzed.
+        function: String,
+        /// VDC entries that matched.
+        matches: u64,
+        /// Distinct dangerous slots flagged.
+        dangerous: u64,
+        /// Simulated cycles the analysis consumed.
+        cost_cycles: u64,
+    },
+    /// The go / recompile-without-passes / no-JIT policy decided.
+    PolicyDecision {
+        /// Function the verdict applies to.
+        function: String,
+        /// The verdict.
+        verdict: Verdict,
+        /// The dangerous slots behind the verdict (empty for `Go`).
+        slots: Vec<usize>,
+    },
+    /// A run finished; what the simulated process experienced.
+    ExploitOutcome {
+        /// `false` when the run crashed or executed sprayed shellcode.
+        clean: bool,
+        /// Human-readable status (`"clean"`, crash site, …).
+        status: String,
+    },
+    /// One fuzzer seed finished executing.
+    FuzzSeed {
+        /// The generator seed.
+        seed: u64,
+        /// Whether the program compromised the runtime (a find).
+        find: bool,
+        /// Whether it ended in a benign script error.
+        script_error: bool,
+    },
+    /// A fuzzing campaign completed.
+    FuzzCampaignFinished {
+        /// Seeds executed.
+        executed: u64,
+        /// Security-relevant finds.
+        finds: u64,
+        /// Benign script errors.
+        script_errors: u64,
+    },
+    /// One iteration of the fuzzer's install-until-neutralized triage loop.
+    TriageRound {
+        /// The find's seed.
+        seed: u64,
+        /// Round index (0-based).
+        round: u64,
+        /// Database entries after this round's installs.
+        db_entries: u64,
+        /// Whether the find is neutralized as of this round.
+        neutralized: bool,
+    },
+}
+
+impl Event {
+    /// Stable kind tag (used by exporters and per-kind counters).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CompileStarted { .. } => "compile_started",
+            Event::TierPromoted { .. } => "tier_promoted",
+            Event::PassApplied { .. } => "pass_applied",
+            Event::GuardAnalyzed { .. } => "guard_analyzed",
+            Event::PolicyDecision { .. } => "policy_decision",
+            Event::ExploitOutcome { .. } => "exploit_outcome",
+            Event::FuzzSeed { .. } => "fuzz_seed",
+            Event::FuzzCampaignFinished { .. } => "fuzz_campaign_finished",
+            Event::TriageRound { .. } => "triage_round",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_names_are_stable() {
+        assert_eq!(Tier::Baseline.name(), "baseline");
+        assert_eq!(Tier::Ion.name(), "ion");
+        assert_eq!(Verdict::Go.name(), "go");
+        assert_eq!(Verdict::Recompile.name(), "recompile");
+        assert_eq!(Verdict::NoJit.name(), "nojit");
+        let ev = Event::PolicyDecision {
+            function: "f".into(),
+            verdict: Verdict::Go,
+            slots: vec![],
+        };
+        assert_eq!(ev.kind(), "policy_decision");
+    }
+}

@@ -1,0 +1,306 @@
+//! # jitbull-telemetry — engine-wide observability
+//!
+//! The paper's whole mechanism is a sequence of runtime decisions — tier
+//! promotions, per-pass IR deltas, dangerous-pass matches, go /
+//! recompile-without-passes / no-JIT verdicts — and this crate makes them
+//! observable without touching the numbers the figures are built from.
+//! It is dependency-free and hand-rolled (no `tracing`), consistent with
+//! the repo's offline-build stance.
+//!
+//! Three layers:
+//!
+//! * [`Event`] — the typed event taxonomy ([`event`]), stored in a
+//!   bounded [`RingBuffer`] so telemetry can never exhaust memory;
+//! * [`Registry`] — named counters / gauges / log₂ histograms
+//!   ([`metrics`]), updated automatically as events arrive;
+//! * [`export`] — text and JSON renderings of a [`Recorder`]'s state.
+//!
+//! The engine-facing surface is the [`Collector`] trait. Producers hold
+//! an `Option<Rc<RefCell<dyn Collector>>>` and skip event construction
+//! entirely when none is attached, so an unobserved engine does no
+//! telemetry work at all — preserving the paper's zero-overhead
+//! empty-database property (§V). [`NoopCollector`] exists for call sites
+//! that want a `&mut dyn Collector` unconditionally; its `record` is an
+//! empty inline function.
+//!
+//! # Examples
+//!
+//! ```
+//! use jitbull_telemetry::{Collector, Event, Recorder, Tier};
+//!
+//! let mut rec = Recorder::new();
+//! rec.record(Event::TierPromoted { function: "hot".into(), tier: Tier::Ion });
+//! assert_eq!(rec.metrics().counter("engine.promoted.ion"), 1);
+//! assert_eq!(rec.events().len(), 1);
+//! ```
+
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod ring;
+
+pub use event::{Event, Tier, Verdict};
+pub use export::{export_json, export_text};
+pub use metrics::{Histogram, Registry};
+pub use ring::RingBuffer;
+
+/// Receives telemetry events. Implemented by [`Recorder`] (stores and
+/// aggregates) and [`NoopCollector`] (discards).
+pub trait Collector {
+    /// Ingests one event.
+    fn record(&mut self, event: Event);
+}
+
+/// A collector that discards everything. `record` is an empty `#[inline]`
+/// body, so passing it compiles down to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopCollector;
+
+impl Collector for NoopCollector {
+    #[inline]
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Default event-ring capacity for [`Recorder::new`].
+pub const DEFAULT_EVENT_CAPACITY: usize = 4096;
+
+/// Per-slot aggregation of [`Event::PassApplied`] — the cycle-attribution
+/// table behind `repro -- obs`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotStat {
+    /// Pass name as of the last application seen for this slot.
+    pub name: &'static str,
+    /// Times the slot ran.
+    pub applications: u64,
+    /// Simulated compile cycles attributed to the slot.
+    pub cycles: u64,
+    /// Net instructions removed across applications.
+    pub instrs_removed: u64,
+    /// Net instructions added across applications.
+    pub instrs_added: u64,
+}
+
+/// The default collector: a bounded event ring plus a metrics registry
+/// that aggregates every event as it arrives.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    events: RingBuffer<Event>,
+    metrics: Registry,
+    slots: Vec<SlotStat>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A recorder with the default event capacity.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    /// A recorder whose event ring holds at most `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder {
+            events: RingBuffer::new(capacity),
+            metrics: Registry::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// The stored events (oldest first, bounded).
+    #[must_use]
+    pub fn events(&self) -> &RingBuffer<Event> {
+        &self.events
+    }
+
+    /// The aggregated metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Mutable metrics access, for producers that export gauges directly
+    /// (database size, fuel used, …).
+    pub fn metrics_mut(&mut self) -> &mut Registry {
+        &mut self.metrics
+    }
+
+    /// Per-slot cycle attribution, indexed by pipeline slot. Slots that
+    /// never ran have `applications == 0`.
+    #[must_use]
+    pub fn slot_stats(&self) -> &[SlotStat] {
+        &self.slots
+    }
+
+    /// Whether nothing at all was recorded (events, metrics, slots).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.metrics.is_empty() && self.slots.is_empty()
+    }
+
+    fn aggregate(&mut self, event: &Event) {
+        self.metrics
+            .counter_inc(&format!("events.{}", event.kind()));
+        match event {
+            Event::CompileStarted { tier, .. } => {
+                self.metrics
+                    .counter_inc(&format!("engine.compile.{}", tier.name()));
+            }
+            Event::TierPromoted { tier, .. } => {
+                self.metrics
+                    .counter_inc(&format!("engine.promoted.{}", tier.name()));
+            }
+            Event::PassApplied {
+                slot,
+                name,
+                instrs_removed,
+                instrs_added,
+                cycles,
+            } => {
+                self.metrics.counter_add("pipeline.cycles", *cycles);
+                self.metrics.observe("pipeline.slot_cycles", *cycles);
+                if self.slots.len() <= *slot {
+                    self.slots.resize(*slot + 1, SlotStat::default());
+                }
+                let s = &mut self.slots[*slot];
+                s.name = name;
+                s.applications += 1;
+                s.cycles = s.cycles.saturating_add(*cycles);
+                s.instrs_removed = s.instrs_removed.saturating_add(*instrs_removed);
+                s.instrs_added = s.instrs_added.saturating_add(*instrs_added);
+            }
+            Event::GuardAnalyzed {
+                matches,
+                dangerous,
+                cost_cycles,
+                ..
+            } => {
+                self.metrics.counter_inc("guard.analyses");
+                self.metrics.counter_add("guard.matches", *matches);
+                self.metrics
+                    .counter_add("guard.dangerous_slots", *dangerous);
+                self.metrics.counter_add("guard.cycles", *cost_cycles);
+                self.metrics.observe("guard.cost_cycles", *cost_cycles);
+            }
+            Event::PolicyDecision { verdict, .. } => {
+                self.metrics
+                    .counter_inc(&format!("policy.{}", verdict.name()));
+            }
+            Event::ExploitOutcome { clean, .. } => {
+                self.metrics.counter_inc(if *clean {
+                    "runs.clean"
+                } else {
+                    "runs.compromised"
+                });
+            }
+            Event::FuzzSeed {
+                find, script_error, ..
+            } => {
+                self.metrics.counter_inc("fuzz.seeds");
+                if *find {
+                    self.metrics.counter_inc("fuzz.finds");
+                }
+                if *script_error {
+                    self.metrics.counter_inc("fuzz.script_errors");
+                }
+            }
+            Event::FuzzCampaignFinished { .. } => {
+                self.metrics.counter_inc("fuzz.campaigns");
+            }
+            Event::TriageRound { neutralized, .. } => {
+                self.metrics.counter_inc("triage.rounds");
+                if *neutralized {
+                    self.metrics.counter_inc("triage.neutralized");
+                }
+            }
+        }
+    }
+}
+
+impl Collector for Recorder {
+    fn record(&mut self, event: Event) {
+        self.aggregate(&event);
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_aggregates_events_into_metrics() {
+        let mut rec = Recorder::new();
+        rec.record(Event::CompileStarted {
+            function: "f".into(),
+            tier: Tier::Ion,
+        });
+        rec.record(Event::TierPromoted {
+            function: "f".into(),
+            tier: Tier::Ion,
+        });
+        rec.record(Event::PassApplied {
+            slot: 6,
+            name: "GVN",
+            instrs_removed: 3,
+            instrs_added: 1,
+            cycles: 40,
+        });
+        rec.record(Event::PassApplied {
+            slot: 6,
+            name: "GVN",
+            instrs_removed: 1,
+            instrs_added: 0,
+            cycles: 10,
+        });
+        rec.record(Event::PolicyDecision {
+            function: "f".into(),
+            verdict: Verdict::Recompile,
+            slots: vec![6],
+        });
+        let m = rec.metrics();
+        assert_eq!(m.counter("engine.compile.ion"), 1);
+        assert_eq!(m.counter("engine.promoted.ion"), 1);
+        assert_eq!(m.counter("policy.recompile"), 1);
+        assert_eq!(m.counter("pipeline.cycles"), 50);
+        assert_eq!(m.counter("events.pass_applied"), 2);
+        let slot = &rec.slot_stats()[6];
+        assert_eq!(slot.name, "GVN");
+        assert_eq!(slot.applications, 2);
+        assert_eq!(slot.cycles, 50);
+        assert_eq!(slot.instrs_removed, 4);
+        assert_eq!(rec.events().len(), 5);
+    }
+
+    #[test]
+    fn noop_collector_discards() {
+        let mut noop = NoopCollector;
+        noop.record(Event::ExploitOutcome {
+            clean: true,
+            status: "clean".into(),
+        });
+        // Nothing to observe; the type has no state at all.
+        assert_eq!(std::mem::size_of::<NoopCollector>(), 0);
+    }
+
+    #[test]
+    fn recorder_ring_is_bounded() {
+        let mut rec = Recorder::with_capacity(2);
+        for i in 0..5u64 {
+            rec.record(Event::FuzzSeed {
+                seed: i,
+                find: false,
+                script_error: false,
+            });
+        }
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.events().dropped(), 3);
+        // Metrics still saw every event.
+        assert_eq!(rec.metrics().counter("fuzz.seeds"), 5);
+    }
+}

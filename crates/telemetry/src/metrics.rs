@@ -1,0 +1,306 @@
+//! The metrics registry: named counters, gauges, and log₂-bucketed
+//! histograms. Everything is a plain integer — the simulated cycle model
+//! is integral, and integers keep export deterministic.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i ≥ 1`
+/// holds values `v` with `2^(i-1) <= v < 2^i`, up to bucket 64 for the
+/// largest `u64` values.
+pub const N_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: [u64; N_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index a value falls into.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The half-open value range `[lo, hi)` bucket `i` covers (bucket 0 is
+/// `[0, 1)`; the last bucket's `hi` saturates to `u64::MAX`).
+#[must_use]
+pub fn bucket_range(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 1),
+        1..=63 => (1u64 << (i - 1), 1u64 << i),
+        _ => (1u64 << 63, u64::MAX),
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 with no samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (0 with no samples).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Non-empty buckets, as `(lo, hi, count)` with `[lo, hi)` the value
+    /// range.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                let (lo, hi) = bucket_range(i);
+                (lo, hi, *c)
+            })
+    }
+
+    /// An upper bound for the `q`-quantile (`0.0..=1.0`): the `hi` edge of
+    /// the bucket where the cumulative count crosses `q * count`.
+    #[must_use]
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return bucket_range(i).1;
+            }
+        }
+        u64::MAX
+    }
+}
+
+/// A registry of named metrics. Names are free-form dotted paths
+/// (`"engine.compile.ion"`); ordering is lexicographic in every export.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to counter `name` (created at 0). Saturates at
+    /// `u64::MAX` instead of wrapping — a telemetry counter must never
+    /// turn a huge total into a small lie.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(delta),
+            None => {
+                self.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Increments counter `name` by one.
+    pub fn counter_inc(&mut self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Reads counter `name` (0 when never written).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                self.gauges.insert(name.to_owned(), value);
+            }
+        }
+    }
+
+    /// Reads gauge `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records `value` into histogram `name` (created empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(value);
+                self.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Reads histogram `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, lexicographic by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, lexicographic by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, lexicographic by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_saturate() {
+        let mut r = Registry::new();
+        r.counter_inc("a");
+        r.counter_add("a", 2);
+        assert_eq!(r.counter("a"), 3);
+        assert_eq!(r.counter("missing"), 0);
+        // Overflow saturates rather than wrapping.
+        r.counter_add("big", u64::MAX - 1);
+        r.counter_add("big", 5);
+        assert_eq!(r.counter("big"), u64::MAX);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut r = Registry::new();
+        assert_eq!(r.gauge("g"), None);
+        r.gauge_set("g", 7);
+        r.gauge_set("g", -3);
+        assert_eq!(r.gauge("g"), Some(-3));
+    }
+
+    #[test]
+    fn histogram_bucketing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Ranges tile the axis: each bucket's hi is the next one's lo.
+        for i in 0..N_BUCKETS - 1 {
+            assert_eq!(bucket_range(i).1, bucket_range(i + 1).0, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-9);
+        let buckets: Vec<_> = h.buckets().collect();
+        // 0 | 1 | 2,3 | 100
+        assert_eq!(buckets.len(), 4);
+        assert_eq!(buckets[0], (0, 1, 1));
+        assert_eq!(buckets[2], (2, 4, 2));
+        // Median upper bound: the 2,3 bucket's hi edge.
+        assert_eq!(h.quantile_upper_bound(0.5), 4);
+    }
+
+    #[test]
+    fn histogram_sum_saturates() {
+        let mut h = Histogram::default();
+        h.observe(u64::MAX);
+        h.observe(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn registry_via_observe() {
+        let mut r = Registry::new();
+        r.observe("lat", 5);
+        r.observe("lat", 9);
+        assert_eq!(r.histogram("lat").unwrap().count(), 2);
+        assert!(r.histogram("other").is_none());
+        assert!(!r.is_empty());
+    }
+}

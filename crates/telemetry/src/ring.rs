@@ -1,0 +1,117 @@
+//! A bounded ring buffer: the event store never grows past its capacity,
+//! evicting the oldest entries and counting what it dropped — long
+//! campaigns cannot exhaust memory through telemetry.
+
+use std::collections::VecDeque;
+
+/// A fixed-capacity FIFO that evicts its oldest element on overflow.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a buffer holding at most `capacity` elements (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `value`, evicting (and counting) the oldest element when
+    /// the buffer is full.
+    pub fn push(&mut self, value: T) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Elements currently held, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Number of elements currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the buffer holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many elements eviction has discarded so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards all held elements (the dropped count is unaffected).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_the_newest_on_overflow() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn under_capacity_drops_nothing() {
+        let mut r = RingBuffer::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.capacity(), 8);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = RingBuffer::new(0);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_drop_count() {
+        let mut r = RingBuffer::new(2);
+        for i in 0..4 {
+            r.push(i);
+        }
+        assert_eq!(r.dropped(), 2);
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
+    }
+}

@@ -91,6 +91,7 @@ pub fn extract_program_dna_with(
             &OptimizeOptions {
                 trace: true,
                 disabled_slots: disabled_slots.clone(),
+                ..Default::default()
             },
         );
         out.push((f.name.clone(), Guard::extract(&result.trace, N_SLOTS)));

@@ -67,6 +67,8 @@ pub struct Outcome {
     pub printed: Vec<String>,
     /// Total simulated cycles consumed (execution + compilation charges).
     pub cycles: u64,
+    /// Executed operations (bytecode / MIR / LIR), across all tiers.
+    pub ops: u64,
     /// Exploit status at end of run.
     pub status: ExploitStatus,
 }
@@ -83,6 +85,7 @@ pub struct Runtime {
     /// Output of `print`.
     pub printed: Vec<String>,
     cycles: u64,
+    ops: u64,
     fuel: u64,
     /// Exploit status; set by the VM when wild accesses or hijacked calls
     /// occur.
@@ -115,6 +118,7 @@ impl Runtime {
             objects: Vec::new(),
             printed: Vec::new(),
             cycles: 0,
+            ops: 0,
             fuel,
             status: ExploitStatus::Clean,
             depth: 0,
@@ -145,6 +149,7 @@ impl Runtime {
             return Err(VmError::OutOfFuel);
         }
         self.fuel -= 1;
+        self.ops += 1;
         self.cycles += cost;
         Ok(())
     }
@@ -158,6 +163,11 @@ impl Runtime {
     /// Total simulated cycles so far.
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Operations executed so far (across all tiers).
+    pub fn ops(&self) -> u64 {
+        self.ops
     }
 
     /// Remaining fuel.
@@ -224,6 +234,7 @@ impl Runtime {
         Outcome {
             printed: self.printed,
             cycles: self.cycles,
+            ops: self.ops,
             status: self.status,
         }
     }
@@ -249,6 +260,7 @@ mod tests {
         assert!(rt.consume_op(1).is_ok());
         assert_eq!(rt.consume_op(1), Err(VmError::OutOfFuel));
         assert_eq!(rt.cycles(), 2);
+        assert_eq!(rt.ops(), 2, "the failed op must not be counted");
     }
 
     #[test]

@@ -1,11 +1,11 @@
-//! Model-based property testing of the heap's *checked* API: a random
+//! Model-based randomized testing of the heap's *checked* API: a random
 //! operation sequence must behave exactly like a plain
 //! `Vec<Vec<f64>>`-backed model (JS array semantics), no matter how
 //! allocations interleave. The raw API is exercised by the exploit tests
 //! instead — its whole point is to deviate once guards are gone.
+//! Driven by the repo's seeded PRNG: deterministic, reproducible by seed.
 
-use proptest::prelude::*;
-
+use jitbull_prng::Rng;
 use jitbull_vm::value::ArrId;
 use jitbull_vm::{Heap, Value};
 
@@ -18,14 +18,29 @@ enum Op {
     Push { arr: u8, v: i16 },
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..12).prop_map(|len| Op::Alloc { len }),
-        (any::<u8>(), 0u8..20).prop_map(|(arr, idx)| Op::Get { arr, idx }),
-        (any::<u8>(), 0u8..20, any::<i16>()).prop_map(|(arr, idx, v)| Op::Set { arr, idx, v }),
-        (any::<u8>(), 0u8..16).prop_map(|(arr, len)| Op::SetLength { arr, len }),
-        (any::<u8>(), any::<i16>()).prop_map(|(arr, v)| Op::Push { arr, v }),
-    ]
+fn op(rng: &mut Rng) -> Op {
+    match rng.gen_range(0..5u32) {
+        0 => Op::Alloc {
+            len: rng.gen_range(0..12u8),
+        },
+        1 => Op::Get {
+            arr: rng.next_u32() as u8,
+            idx: rng.gen_range(0..20u8),
+        },
+        2 => Op::Set {
+            arr: rng.next_u32() as u8,
+            idx: rng.gen_range(0..20u8),
+            v: rng.next_u32() as i16,
+        },
+        3 => Op::SetLength {
+            arr: rng.next_u32() as u8,
+            len: rng.gen_range(0..16u8),
+        },
+        _ => Op::Push {
+            arr: rng.next_u32() as u8,
+            v: rng.next_u32() as i16,
+        },
+    }
 }
 
 /// The reference model: dense JS-like arrays of numbers-or-undefined.
@@ -68,11 +83,13 @@ fn same(a: &Value, b: &Value) -> bool {
     a.strict_eq(b)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn checked_heap_matches_reference_model(ops in proptest::collection::vec(op(), 1..60)) {
+#[test]
+fn checked_heap_matches_reference_model() {
+    for seed in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let ops: Vec<Op> = (0..rng.gen_range(1..60usize))
+            .map(|_| op(&mut rng))
+            .collect();
         let mut heap = Heap::new();
         let mut model = Model::default();
         let mut ids: Vec<ArrId> = Vec::new();
@@ -81,16 +98,16 @@ proptest! {
                 Op::Alloc { len } => {
                     let id = heap.alloc_array(len as usize, len as usize, Value::Undefined);
                     let mid = model.alloc(len as usize);
-                    prop_assert_eq!(mid, ids.len());
+                    assert_eq!(mid, ids.len(), "seed {seed}");
                     ids.push(id);
                 }
                 Op::Get { arr, idx } if !ids.is_empty() => {
                     let k = arr as usize % ids.len();
                     let got = heap.get_elem(ids[k], idx as f64).expect("checked get");
                     let want = value_of(model.get(k, idx as usize));
-                    prop_assert!(
+                    assert!(
                         same(&got, &want),
-                        "get a{k}[{idx}]: heap {got:?} vs model {want:?}"
+                        "seed {seed}: get a{k}[{idx}]: heap {got:?} vs model {want:?}"
                     );
                 }
                 Op::Set { arr, idx, v } if !ids.is_empty() => {
@@ -116,13 +133,12 @@ proptest! {
             }
             // Global invariants after every step.
             for (k, id) in ids.iter().enumerate() {
-                prop_assert_eq!(
+                assert_eq!(
                     heap.length(*id),
                     model.arrays[k].len(),
-                    "length of a{}",
-                    k
+                    "seed {seed}: length of a{k}"
                 );
-                prop_assert!(heap.capacity(*id) >= heap.length(*id));
+                assert!(heap.capacity(*id) >= heap.length(*id), "seed {seed}");
             }
         }
         // Full sweep at the end: every element agrees.
@@ -130,7 +146,10 @@ proptest! {
             for idx in 0..model.arrays[k].len() + 2 {
                 let got = heap.get_elem(*id, idx as f64).expect("sweep get");
                 let want = value_of(model.get(k, idx));
-                prop_assert!(same(&got, &want), "sweep a{k}[{idx}]: {got:?} vs {want:?}");
+                assert!(
+                    same(&got, &want),
+                    "seed {seed}: sweep a{k}[{idx}]: {got:?} vs {want:?}"
+                );
             }
         }
     }

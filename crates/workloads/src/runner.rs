@@ -1,8 +1,12 @@
 //! Running workloads under configurable engines and collecting the
 //! measurements the paper's figures are built from.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use jitbull::{CompareConfig, DnaDatabase, Guard};
 use jitbull_jit::engine::{Engine, EngineConfig, EngineOutcome};
+use jitbull_telemetry::Collector;
 use jitbull_vm::VmError;
 
 use crate::suite::Workload;
@@ -16,6 +20,8 @@ pub struct Measurement {
     pub printed: Vec<String>,
     /// Total simulated cycles (execution + compilation + analysis).
     pub cycles: u64,
+    /// Executed operations across all tiers.
+    pub ops: u64,
     /// Functions that reached the optimizing tier (`Nr_JIT`).
     pub nr_jit: usize,
     /// Functions with ≥1 pass disabled (`Nr_DisJIT`).
@@ -55,6 +61,7 @@ impl Measurement {
             name,
             printed: out.outcome.printed,
             cycles: out.outcome.cycles,
+            ops: out.outcome.ops,
             nr_jit: out.nr_jit,
             nr_disjit: out.nr_disjit,
             nr_nojit: out.nr_nojit,
@@ -76,10 +83,37 @@ pub fn run_workload(
     config: EngineConfig,
     db: Option<DnaDatabase>,
 ) -> Result<Measurement, VmError> {
+    run_inner(w, config, db, None)
+}
+
+/// Like [`run_workload`], with a telemetry collector attached to the
+/// engine for the duration of the run.
+///
+/// # Errors
+///
+/// Same as [`run_workload`].
+pub fn run_workload_observed(
+    w: &Workload,
+    config: EngineConfig,
+    db: Option<DnaDatabase>,
+    collector: Rc<RefCell<dyn Collector>>,
+) -> Result<Measurement, VmError> {
+    run_inner(w, config, db, Some(collector))
+}
+
+fn run_inner(
+    w: &Workload,
+    config: EngineConfig,
+    db: Option<DnaDatabase>,
+    collector: Option<Rc<RefCell<dyn Collector>>>,
+) -> Result<Measurement, VmError> {
     let mut engine = match db {
         Some(db) => Engine::with_guard(config, Guard::new(db, CompareConfig::default())),
         None => Engine::new(config),
     };
+    if let Some(c) = collector {
+        engine.set_collector(c);
+    }
     let out = engine.run_source_with(&w.source)?;
     if out.outcome.status.is_compromised() {
         return Err(VmError::Crash(format!(
@@ -171,6 +205,7 @@ mod tests {
             name: "t",
             printed: vec![],
             cycles: 0,
+            ops: 0,
             nr_jit: 10,
             nr_disjit: 3,
             nr_nojit: 1,

@@ -1,12 +1,12 @@
-//! Property-based differential testing: randomly generated minijs
-//! programs must print exactly the same output on the interpreter and on
-//! the fully optimizing engine (this is the test class that caught the
-//! GVN global-merging miscompilation during development).
-
-use proptest::prelude::*;
+//! Randomized differential testing: generated minijs programs must print
+//! exactly the same output on the interpreter and on the fully optimizing
+//! engine (this is the test class that caught the GVN global-merging
+//! miscompilation during development). Driven by the repo's seeded PRNG:
+//! deterministic, reproducible by seed.
 
 use jitbull_jit::engine::{Engine, EngineConfig};
 use jitbull_jit::VulnConfig;
+use jitbull_prng::Rng;
 
 #[derive(Debug, Clone)]
 enum E {
@@ -30,45 +30,53 @@ enum S {
     For(u8, Vec<S>),
 }
 
-fn expr_strategy() -> impl Strategy<Value = E> {
-    let leaf = prop_oneof![
-        Just(E::A),
-        Just(E::B),
-        Just(E::T),
-        (0u8..4).prop_map(E::V),
-        (-9i8..10).prop_map(E::Lit),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| E::Arr(Box::new(e))),
-            (0u8..10, inner.clone(), inner.clone()).prop_map(|(op, a, b)| E::Bin(
-                op,
-                Box::new(a),
-                Box::new(b)
-            )),
-            inner.clone().prop_map(|e| E::Neg(Box::new(e))),
-            inner.prop_map(|e| E::Floor(Box::new(e))),
-        ]
-    })
+fn gen_expr(rng: &mut Rng, depth: u32) -> E {
+    if depth == 0 || rng.gen_bool(0.35) {
+        return match rng.gen_range(0..5u32) {
+            0 => E::A,
+            1 => E::B,
+            2 => E::T,
+            3 => E::V(rng.gen_range(0..4u8)),
+            _ => E::Lit(rng.gen_range(-9i8..10)),
+        };
+    }
+    let d = depth - 1;
+    match rng.gen_range(0..4u32) {
+        0 => E::Arr(Box::new(gen_expr(rng, d))),
+        1 => E::Bin(
+            rng.gen_range(0..10u8),
+            Box::new(gen_expr(rng, d)),
+            Box::new(gen_expr(rng, d)),
+        ),
+        2 => E::Neg(Box::new(gen_expr(rng, d))),
+        _ => E::Floor(Box::new(gen_expr(rng, d))),
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = S> {
-    let simple = prop_oneof![
-        (0u8..4, expr_strategy()).prop_map(|(v, e)| S::SetV(v, Box::new(e))),
-        expr_strategy().prop_map(|e| S::SetT(Box::new(e))),
-        (expr_strategy(), expr_strategy()).prop_map(|(i, v)| S::SetArr(Box::new(i), Box::new(v))),
-    ];
-    simple.prop_recursive(2, 12, 4, |inner| {
-        prop_oneof![
-            (
-                expr_strategy(),
-                prop::collection::vec(inner.clone(), 1..3),
-                prop::collection::vec(inner.clone(), 0..3)
-            )
-                .prop_map(|(c, a, b)| S::If(Box::new(c), a, b)),
-            ((1u8..5), prop::collection::vec(inner, 1..3)).prop_map(|(n, b)| S::For(n, b)),
-        ]
-    })
+fn gen_stmts(rng: &mut Rng, depth: u32, lo: usize, hi: usize) -> Vec<S> {
+    (0..rng.gen_range(lo..hi))
+        .map(|_| gen_stmt(rng, depth))
+        .collect()
+}
+
+fn gen_stmt(rng: &mut Rng, depth: u32) -> S {
+    if depth == 0 || rng.gen_bool(0.5) {
+        return match rng.gen_range(0..3u32) {
+            0 => S::SetV(rng.gen_range(0..4u8), Box::new(gen_expr(rng, 3))),
+            1 => S::SetT(Box::new(gen_expr(rng, 3))),
+            _ => S::SetArr(Box::new(gen_expr(rng, 3)), Box::new(gen_expr(rng, 3))),
+        };
+    }
+    let d = depth - 1;
+    if rng.gen_bool(0.5) {
+        S::If(
+            Box::new(gen_expr(rng, 3)),
+            gen_stmts(rng, d, 1, 3),
+            gen_stmts(rng, d, 0, 3),
+        )
+    } else {
+        S::For(rng.gen_range(1..5u8), gen_stmts(rng, d, 1, 3))
+    }
 }
 
 fn render_expr(e: &E, out: &mut String) {
@@ -171,6 +179,12 @@ fn render_program(stmts: &[S]) -> String {
     )
 }
 
+fn gen_program(seed: u64, max_stmts: usize) -> String {
+    let mut rng = Rng::seed_from_u64(seed);
+    let stmts = gen_stmts(&mut rng, 2, 1, max_stmts);
+    render_program(&stmts)
+}
+
 fn run(source: &str, jit: bool, vulns: VulnConfig) -> Vec<String> {
     Engine::run_source(
         source,
@@ -185,26 +199,26 @@ fn run(source: &str, jit: bool, vulns: VulnConfig) -> Vec<String> {
     .unwrap_or_else(|e| vec![format!("error: {e}")])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Optimized execution must match interpretation exactly.
-    #[test]
-    fn jit_matches_interpreter(stmts in prop::collection::vec(stmt_strategy(), 1..6)) {
-        let source = render_program(&stmts);
+/// Optimized execution must match interpretation exactly.
+#[test]
+fn jit_matches_interpreter() {
+    for seed in 0..48u64 {
+        let source = gen_program(seed, 6);
         let interp = run(&source, false, VulnConfig::none());
         let jit = run(&source, true, VulnConfig::none());
-        prop_assert_eq!(&interp, &jit, "source:\n{}", source);
+        assert_eq!(interp, jit, "seed {seed}, source:\n{source}");
     }
+}
 
-    /// A fully vulnerable engine must still run *benign* generated code
-    /// correctly: all accesses are masked in-bounds, so even incorrectly
-    /// removed checks cannot change behaviour.
-    #[test]
-    fn vulnerable_engine_is_correct_on_benign_code(stmts in prop::collection::vec(stmt_strategy(), 1..5)) {
-        let source = render_program(&stmts);
+/// A fully vulnerable engine must still run *benign* generated code
+/// correctly: all accesses are masked in-bounds, so even incorrectly
+/// removed checks cannot change behaviour.
+#[test]
+fn vulnerable_engine_is_correct_on_benign_code() {
+    for seed in 1000..1048u64 {
+        let source = gen_program(seed, 5);
         let interp = run(&source, false, VulnConfig::none());
         let vulnerable = run(&source, true, VulnConfig::all());
-        prop_assert_eq!(&interp, &vulnerable, "source:\n{}", source);
+        assert_eq!(interp, vulnerable, "seed {seed}, source:\n{source}");
     }
 }

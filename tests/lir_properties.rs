@@ -1,10 +1,9 @@
-//! Property tests over the LIR backend, driven by the fuzz generator's
+//! Randomized tests over the LIR backend, driven by the fuzz generator's
 //! program space: every generated program's functions must (a) lower to
 //! valid LIR, (b) receive a register allocation with no two overlapping
 //! live intervals sharing a register, and (c) execute identically on the
-//! LIR and MIR backends.
-
-use proptest::prelude::*;
+//! LIR and MIR backends. Seeds are fixed, so every run checks the same
+//! programs.
 
 use jitbull_frontend::parse_program;
 use jitbull_fuzzer::gen::{generate_complete, GenConfig};
@@ -24,37 +23,36 @@ fn source_for(seed: u64) -> String {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lowering_and_allocation_are_sound(seed in 0u64..100_000) {
-        let source = source_for(seed);
+#[test]
+fn lowering_and_allocation_are_sound() {
+    for seed in 0..64u64 {
+        let source = source_for(seed * 1_543);
         let program = parse_program(&source).expect("generated source parses");
         let module = compile_program(&program).expect("compiles");
         for i in 0..module.functions.len() {
             let fid = jitbull_vm::bytecode::FuncId(i as u32);
             let mir = build_mir(&module, fid).expect("mir builds");
             let optimized = optimize(mir, &VulnConfig::none(), &OptimizeOptions::default());
-            prop_assert!(optimized.broken.is_none());
+            assert!(optimized.broken.is_none(), "seed {seed}");
             // Lower + allocate, then check the allocator invariant.
             let lowered = lower(&optimized.mir);
-            prop_assert_eq!(lowered.validate(), Ok(()), "{}", lowered);
+            assert_eq!(lowered.validate(), Ok(()), "seed {seed}:\n{lowered}");
             let allocation = allocate(&lowered);
-            prop_assert!(
+            assert!(
                 verify(&lowered, &allocation),
-                "allocation overlap for seed {seed} fn {i}:\n{}",
-                lowered
+                "allocation overlap for seed {seed} fn {i}:\n{lowered}"
             );
             // The full backend pipeline also ends valid.
             let compiled = compile(&optimized.mir);
-            prop_assert_eq!(compiled.validate(), Ok(()), "{}", compiled);
+            assert_eq!(compiled.validate(), Ok(()), "seed {seed}:\n{compiled}");
         }
     }
+}
 
-    #[test]
-    fn lir_and_mir_backends_agree(seed in 0u64..100_000) {
-        let source = source_for(seed);
+#[test]
+fn lir_and_mir_backends_agree() {
+    for seed in 0..64u64 {
+        let source = source_for(seed * 7_919 + 1);
         let run = |backend: Backend| {
             Engine::run_source(
                 &source,
@@ -69,6 +67,10 @@ proptest! {
             .map(|o| o.outcome.printed)
             .map_err(|e| format!("{e}"))
         };
-        prop_assert_eq!(run(Backend::Mir), run(Backend::Lir), "source:\n{}", source);
+        assert_eq!(
+            run(Backend::Mir),
+            run(Backend::Lir),
+            "seed {seed}, source:\n{source}"
+        );
     }
 }

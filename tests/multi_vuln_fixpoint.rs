@@ -88,7 +88,11 @@ fn iterated_extraction_reaches_a_protective_fixpoint() {
     let neutralized = install_until_neutralized(&mut db, &find, &vulns, 6).unwrap();
     assert!(neutralized, "triage loop failed to converge");
     // The final database carries more than the first round's entries.
-    assert!(db.len() >= 2, "expected signatures from ≥2 rounds, got {}", db.len());
+    assert!(
+        db.len() >= 2,
+        "expected signatures from ≥2 rounds, got {}",
+        db.len()
+    );
     // And a fresh engine with that database is safe.
     let mut guarded = Engine::with_guard(
         campaign_engine(vulns),

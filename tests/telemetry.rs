@@ -1,0 +1,118 @@
+//! Telemetry integration: invariants the event stream and metrics must
+//! satisfy over full workload runs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use jitbull::DnaDatabase;
+use jitbull_bench::figures::db_with;
+use jitbull_jit::engine::EngineConfig;
+use jitbull_telemetry::{Event, Recorder, Tier};
+use jitbull_workloads::{microbenches, run_workload, run_workload_observed};
+
+fn recorder() -> Rc<RefCell<Recorder>> {
+    // Generous capacity so no event is dropped and counters can be
+    // cross-checked against the raw stream.
+    Rc::new(RefCell::new(Recorder::with_capacity(1 << 16)))
+}
+
+#[test]
+fn ion_promotions_match_ion_compiles_on_a_clean_engine() {
+    for w in microbenches() {
+        let rec = recorder();
+        let m = run_workload_observed(&w, EngineConfig::default(), None, rec.clone())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let rec = rec.borrow();
+        let met = rec.metrics();
+        // No guard, harmless code: every optimizing compile promotes.
+        assert_eq!(
+            met.counter("engine.compile.ion"),
+            met.counter("engine.promoted.ion"),
+            "{}",
+            w.name
+        );
+        assert_eq!(met.counter("engine.promoted.ion"), m.nr_jit as u64);
+        assert_eq!(met.counter("runs.clean"), 1);
+        // Counters agree with the raw event stream.
+        assert_eq!(rec.events().dropped(), 0);
+        let promoted_events = rec
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::TierPromoted {
+                        tier: Tier::Ion,
+                        ..
+                    }
+                )
+            })
+            .count() as u64;
+        assert_eq!(promoted_events, met.counter("engine.promoted.ion"));
+    }
+}
+
+#[test]
+fn verdicts_partition_analyses_under_jitbull() {
+    let (db, vulns) = db_with(4);
+    for w in microbenches() {
+        let rec = recorder();
+        run_workload_observed(
+            &w,
+            EngineConfig {
+                vulns: vulns.clone(),
+                ..Default::default()
+            },
+            Some(db.clone()),
+            rec.clone(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let rec = rec.borrow();
+        let met = rec.metrics();
+        let analyses = met.counter("guard.analyses");
+        assert!(analyses > 0, "{}: guard never ran", w.name);
+        // Exactly one policy verdict per guard analysis, one analysis per
+        // optimizing compile round.
+        assert_eq!(
+            met.counter("policy.go")
+                + met.counter("policy.recompile")
+                + met.counter("policy.nojit"),
+            analyses,
+            "{}",
+            w.name
+        );
+        assert_eq!(analyses, met.counter("engine.compile.ion"), "{}", w.name);
+        // Per-slot attribution covers the whole pipeline charge.
+        let slot_total: u64 = rec.slot_stats().iter().map(|s| s.cycles).sum();
+        assert_eq!(slot_total, met.counter("pipeline.cycles"), "{}", w.name);
+    }
+}
+
+#[test]
+fn empty_db_observation_is_cycle_neutral_and_guard_silent() {
+    let benches = microbenches();
+    let plain = run_workload(&benches[0], EngineConfig::default(), None).unwrap();
+    let rec = recorder();
+    let observed = run_workload_observed(
+        &benches[0],
+        EngineConfig::default(),
+        Some(DnaDatabase::new()),
+        rec.clone(),
+    )
+    .unwrap();
+    // Attaching a recorder must not perturb the simulated cycle model —
+    // the paper's zero-overhead empty-DB property survives observation.
+    assert_eq!(plain.cycles, observed.cycles);
+    let rec = rec.borrow();
+    let met = rec.metrics();
+    // With no VDCs installed the guard and policy never run.
+    assert_eq!(met.counter("guard.analyses"), 0);
+    assert_eq!(
+        met.counter("policy.go") + met.counter("policy.recompile") + met.counter("policy.nojit"),
+        0
+    );
+    assert!(rec.events().iter().all(|e| !matches!(
+        e,
+        Event::GuardAnalyzed { .. } | Event::PolicyDecision { .. }
+    )));
+}
