@@ -104,6 +104,10 @@ fn fig6() {
     heading("Figure 6 — scalability with 1..8 VDCs in the database (overhead vs JIT)");
     let rows = figures::fig6(&jitbull_workloads::octane_analogues());
     print!("{}", figures::render_fig6(&rows));
+    let sizes = [1usize, 2, 4, 8];
+    println!("\ncomparator cost, naive (reference) vs indexed, analysis cycles:\n");
+    let cmp = figures::fig6_comparator(&jitbull_workloads::octane_analogues(), &sizes);
+    print!("{}", figures::render_fig6_comparator(&cmp, &sizes));
 }
 
 fn ablation() {
@@ -161,6 +165,15 @@ fn observability() {
         workloads[0].name,
         observed as i64 - plain as i64
     );
+    println!("\ncomparator cost, naive (reference) vs indexed, analysis cycles (#4 VDCs):\n");
+    for w in &workloads {
+        let (reference, indexed) = obs::comparator_cycles(w, 4);
+        println!(
+            "  {:<14} {reference} -> {indexed} ({:.1}x)",
+            w.name,
+            reference as f64 / indexed.max(1) as f64
+        );
+    }
 }
 
 fn ablation_policy() {

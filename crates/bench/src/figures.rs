@@ -1,7 +1,7 @@
 //! Figures 4, 5, and 6: false-positive rates, execution times, and
 //! database-size scalability on the workload suite.
 
-use jitbull::DnaDatabase;
+use jitbull::{ComparatorMode, DnaDatabase};
 use jitbull_jit::engine::EngineConfig;
 use jitbull_jit::{CveId, VulnConfig};
 use jitbull_vdc::{build_database, vdc};
@@ -257,6 +257,83 @@ pub fn fig6(workloads: &[Workload]) -> Vec<Fig6Row> {
             }
         })
         .collect()
+}
+
+/// One comparator-cost row: simulated analysis cycles (extraction +
+/// comparison) per database size, for the naive reference comparator and
+/// the indexed pipeline. The verdicts are identical by construction (the
+/// differential harness enforces it); only the cost differs.
+#[derive(Debug)]
+pub struct Fig6ComparatorRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Per-DB-size `(reference, indexed)` analysis cycles, for sizes
+    /// matching the `sizes` argument of [`fig6_comparator`].
+    pub cycles: Vec<(u64, u64)>,
+}
+
+impl Fig6ComparatorRow {
+    /// Indexed speedup over the reference comparator at sweep point `i`
+    /// (e.g. `2.0` = indexed analysis costs half the cycles).
+    pub fn speedup(&self, i: usize) -> f64 {
+        let (reference, indexed) = self.cycles[i];
+        reference as f64 / indexed.max(1) as f64
+    }
+}
+
+/// Runs the naive-vs-indexed comparator cost sweep behind Figure 6:
+/// the same workloads and databases, once per [`ComparatorMode`],
+/// reporting each run's `analysis_cycles`.
+pub fn fig6_comparator(workloads: &[Workload], sizes: &[usize]) -> Vec<Fig6ComparatorRow> {
+    let dbs: Vec<_> = sizes.iter().map(|&n| db_with(n)).collect();
+    workloads
+        .iter()
+        .map(|w| {
+            let cycles = dbs
+                .iter()
+                .map(|(db, vulns)| {
+                    let run = |mode: ComparatorMode| {
+                        run_workload(
+                            w,
+                            EngineConfig {
+                                vulns: vulns.clone(),
+                                comparator: mode,
+                                ..Default::default()
+                            },
+                            Some(db.clone()),
+                        )
+                        .expect("workload runs")
+                        .analysis_cycles
+                    };
+                    (run(ComparatorMode::Reference), run(ComparatorMode::Indexed))
+                })
+                .collect();
+            Fig6ComparatorRow {
+                name: w.name,
+                cycles,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparator cost sweep (`ref cyc → idx cyc (speedup)` per
+/// database size).
+pub fn render_fig6_comparator(rows: &[Fig6ComparatorRow], sizes: &[usize]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.name.to_string()];
+            for (i, (reference, indexed)) in r.cycles.iter().enumerate() {
+                row.push(format!("{reference}->{indexed} ({:.1}x)", r.speedup(i)));
+            }
+            row
+        })
+        .collect();
+    let headers: Vec<String> = std::iter::once("benchmark".to_string())
+        .chain(sizes.iter().map(|n| format!("#{n} ref->idx")))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    crate::render_table(&headers_ref, &table)
 }
 
 /// Renders Figure 6.

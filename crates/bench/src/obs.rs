@@ -36,6 +36,14 @@ pub struct ObsRow {
     pub pipeline_cycles: u64,
     /// Simulated cycles spent in guard analysis.
     pub guard_cycles: u64,
+    /// Indexed-comparator queries served.
+    pub comparator_queries: u64,
+    /// Queries answered from the DNA-keyed verdict cache.
+    pub comparator_cache_hits: u64,
+    /// Delta-side comparisons skipped by the fingerprint prefilter.
+    pub comparator_prefilter_rejects: u64,
+    /// Interned-id set merges actually performed.
+    pub comparator_set_merges: u64,
     /// Operations the workload executed across all tiers.
     pub ops: u64,
 }
@@ -73,6 +81,10 @@ pub fn observe_workloads(workloads: &[Workload], n_vdcs: usize) -> (Vec<ObsRow>,
             nojit: met.counter("policy.nojit"),
             pipeline_cycles: met.counter("pipeline.cycles"),
             guard_cycles: met.counter("guard.cycles"),
+            comparator_queries: met.counter("comparator.queries"),
+            comparator_cache_hits: met.counter("comparator.cache_hits"),
+            comparator_prefilter_rejects: met.counter("comparator.prefilter_rejects"),
+            comparator_set_merges: met.counter("comparator.set_merges"),
             ops: m.ops,
         });
         for (i, s) in rec.slot_stats().iter().enumerate() {
@@ -113,6 +125,29 @@ pub fn empty_db_overhead(w: &Workload) -> (u64, u64) {
     (plain, observed)
 }
 
+/// Per-workload naive-vs-indexed comparator cost: simulated analysis
+/// cycles for the same run under each [`jitbull::ComparatorMode`].
+pub fn comparator_cycles(w: &Workload, n_vdcs: usize) -> (u64, u64) {
+    let (db, vulns) = db_with(n_vdcs);
+    let run = |mode: jitbull::ComparatorMode| {
+        run_workload(
+            w,
+            EngineConfig {
+                vulns: vulns.clone(),
+                comparator: mode,
+                ..Default::default()
+            },
+            Some(db.clone()),
+        )
+        .expect("workload runs")
+        .analysis_cycles
+    };
+    (
+        run(jitbull::ComparatorMode::Reference),
+        run(jitbull::ComparatorMode::Indexed),
+    )
+}
+
 /// Renders the per-workload summary table.
 pub fn render_rows(rows: &[ObsRow]) -> String {
     let table: Vec<Vec<String>> = rows
@@ -127,6 +162,9 @@ pub fn render_rows(rows: &[ObsRow]) -> String {
                 format!("{}/{}/{}", r.go, r.recompile, r.nojit),
                 r.pipeline_cycles.to_string(),
                 r.guard_cycles.to_string(),
+                format!("{}/{}", r.comparator_cache_hits, r.comparator_queries),
+                r.comparator_prefilter_rejects.to_string(),
+                r.comparator_set_merges.to_string(),
                 r.ops.to_string(),
             ]
         })
@@ -141,6 +179,9 @@ pub fn render_rows(rows: &[ObsRow]) -> String {
             "go/rec/nojit",
             "pipeline cyc",
             "guard cyc",
+            "cmp hit/q",
+            "prefilt",
+            "merges",
             "ops",
         ],
         &table,
@@ -194,6 +235,9 @@ mod tests {
             // One verdict per analysis, one analysis per compile round.
             assert_eq!(r.analyses, r.compiles, "{}", r.name);
             assert_eq!(r.go + r.recompile + r.nojit, r.analyses, "{}", r.name);
+            // The indexed comparator (the default) serves every analysis.
+            assert_eq!(r.comparator_queries, r.analyses, "{}", r.name);
+            assert!(r.comparator_cache_hits <= r.comparator_queries);
             assert!(r.pipeline_cycles > 0 && r.guard_cycles > 0 && r.ops > 0);
         }
         assert!(slots.iter().any(|s| s.cycles > 0));

@@ -1,4 +1,11 @@
 //! The Δ comparator (paper §IV-E, Algorithm 2).
+//!
+//! This module is the **normative** implementation: it computes full
+//! `BTreeSet` intersections exactly as the paper's pseudo-code does, and
+//! [`reference`] is the oracle the differential harness
+//! (`tests/comparator_differential.rs`) checks the indexed comparator
+//! ([`crate::index`]) against. Production queries go through the index;
+//! keep this path boring and obviously correct.
 
 use std::collections::BTreeSet;
 
@@ -26,6 +33,11 @@ impl Default for CompareConfig {
 ///
 /// `EqChains = |δ^f ∩ δ^{f'}|` must reach both the absolute threshold and
 /// `Ratio × min(|δ^f|, |δ^{f'}|)`.
+///
+/// When either side is empty, `max_eq == 0` and the function returns
+/// `false` immediately — even for `thr == 0` / `ratio == 0.0`
+/// configurations where the threshold inequalities would be vacuously
+/// satisfied. An empty delta carries no signal, so it never matches.
 pub fn compare_chains(a: &BTreeSet<Chain>, b: &BTreeSet<Chain>, config: &CompareConfig) -> bool {
     let max_eq = a.len().min(b.len());
     if max_eq == 0 {
@@ -48,6 +60,15 @@ pub fn dangerous_passes(f: &Dna, vdc: &Dna, config: &CompareConfig) -> Vec<usize
     (0..n)
         .filter(|&i| deltas_similar(&f.deltas[i], &vdc.deltas[i], config))
         .collect()
+}
+
+/// The naive, normative Algorithm 2 implementation — an alias of
+/// [`dangerous_passes`] under the name the rest of the repo uses for the
+/// oracle path. The indexed comparator ([`crate::index`]) must return
+/// byte-identical results to this function for every input; the
+/// differential harness enforces that.
+pub fn reference(f: &Dna, vdc: &Dna, config: &CompareConfig) -> Vec<usize> {
+    dangerous_passes(f, vdc, config)
 }
 
 #[cfg(test)]
@@ -96,6 +117,64 @@ mod tests {
         assert!(!compare_chains(&empty, &empty, &cfg));
         let a = set(&[&["a", "b"]]);
         assert!(!compare_chains(&a, &empty, &cfg));
+        assert!(!compare_chains(&empty, &a, &cfg));
+    }
+
+    #[test]
+    fn max_eq_zero_early_return_beats_degenerate_thresholds() {
+        // With thr == 0 and ratio == 0.0 every threshold inequality is
+        // vacuously true; only the `max_eq == 0` early return keeps empty
+        // sets from matching everything.
+        let cfg = CompareConfig { thr: 0, ratio: 0.0 };
+        let empty = BTreeSet::new();
+        let a = set(&[&["a", "b"]]);
+        assert!(!compare_chains(&empty, &empty, &cfg));
+        assert!(!compare_chains(&a, &empty, &cfg));
+        assert!(!compare_chains(&empty, &a, &cfg));
+        // Non-empty disjoint sets DO match under the degenerate config —
+        // the early return only guards emptiness.
+        let b = set(&[&["c", "d"]]);
+        assert!(compare_chains(&a, &b, &cfg));
+    }
+
+    #[test]
+    fn empty_delta_sides_never_contribute() {
+        let cfg = CompareConfig { thr: 0, ratio: 0.0 };
+        // Both deltas fully empty: neither side can match.
+        assert!(!deltas_similar(
+            &PassDelta::default(),
+            &PassDelta::default(),
+            &cfg
+        ));
+        // One populated side against an empty counterpart: still no match.
+        let populated = PassDelta {
+            removed: set(&[&["a", "b"]]),
+            added: set(&[&["c", "d"]]),
+        };
+        assert!(!deltas_similar(&populated, &PassDelta::default(), &cfg));
+        assert!(!deltas_similar(&PassDelta::default(), &populated, &cfg));
+    }
+
+    #[test]
+    fn trivial_dna_entries_flag_nothing() {
+        let cfg = CompareConfig { thr: 0, ratio: 0.0 };
+        let trivial = Dna::with_slots(4);
+        let mut real = Dna::with_slots(4);
+        real.deltas[1].removed = set(&[&["boundscheck", "initializedlength"]]);
+        assert!(dangerous_passes(&real, &trivial, &cfg).is_empty());
+        assert!(dangerous_passes(&trivial, &real, &cfg).is_empty());
+        assert!(dangerous_passes(&trivial, &trivial, &cfg).is_empty());
+    }
+
+    #[test]
+    fn reference_is_dangerous_passes() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut f = Dna::with_slots(4);
+        let mut v = Dna::with_slots(4);
+        f.deltas[2].removed = set(&[&["boundscheck", "initializedlength"]]);
+        v.deltas[2].removed = set(&[&["boundscheck", "initializedlength"]]);
+        assert_eq!(reference(&f, &v, &cfg), dangerous_passes(&f, &v, &cfg));
+        assert_eq!(reference(&f, &v, &cfg), vec![2]);
     }
 
     #[test]

@@ -6,8 +6,20 @@
 //! their *vulnerability window*, typically one or two at a time (§VI-D).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::dna::Dna;
+
+/// Process-wide generation source. Every observable content change of
+/// any [`DnaDatabase`] draws a fresh value, so two *different* database
+/// states can never share a generation — which is what lets the
+/// comparator index treat generation equality as cache validity even
+/// across wholesale database replacement (`*guard.db_mut() = other`).
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// One demonstrator-code function's DNA, tagged by vulnerability.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,15 +33,44 @@ pub struct VdcEntry {
 }
 
 /// The in-memory DNA database, preloaded at runtime startup (§V).
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone)]
 pub struct DnaDatabase {
     entries: Vec<VdcEntry>,
+    /// Bumped (from [`next_generation`]) on every content change; the
+    /// comparator index compares this against the generation it was
+    /// built from to decide whether its interned entries and cached
+    /// verdicts are still valid.
+    generation: u64,
+}
+
+impl Default for DnaDatabase {
+    fn default() -> Self {
+        DnaDatabase::new()
+    }
+}
+
+/// Equality is content equality — two databases holding the same entries
+/// compare equal regardless of their mutation history.
+impl PartialEq for DnaDatabase {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
 }
 
 impl DnaDatabase {
     /// Creates an empty database.
     pub fn new() -> Self {
-        DnaDatabase::default()
+        DnaDatabase {
+            entries: Vec::new(),
+            generation: next_generation(),
+        }
+    }
+
+    /// The current generation. Strictly increases across this database's
+    /// content changes; unique process-wide per content change (trivial
+    /// installs and no-op removals leave it untouched).
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Installs one VDC function's DNA. Trivial DNA (a compilation whose
@@ -44,6 +85,7 @@ impl DnaDatabase {
             function: function.into(),
             dna,
         });
+        self.generation = next_generation();
     }
 
     /// Removes every entry belonging to a vulnerability (models applying
@@ -51,7 +93,11 @@ impl DnaDatabase {
     pub fn remove_cve(&mut self, cve: &str) -> usize {
         let before = self.entries.len();
         self.entries.retain(|e| e.cve != cve);
-        before - self.entries.len()
+        let removed = before - self.entries.len();
+        if removed > 0 {
+            self.generation = next_generation();
+        }
+        removed
     }
 
     /// All entries.
@@ -190,8 +236,32 @@ mod tests {
     #[test]
     fn trivial_dna_is_not_installed() {
         let mut db = DnaDatabase::new();
+        let g0 = db.generation();
         db.install("CVE-X", "f", Dna::with_slots(8));
         assert!(db.is_empty());
+        // A skipped install leaves the content — and the generation —
+        // untouched.
+        assert_eq!(db.generation(), g0);
+    }
+
+    #[test]
+    fn generation_moves_with_content_only() {
+        let mut db = DnaDatabase::new();
+        let g0 = db.generation();
+        db.install("CVE-1", "f", sample_dna());
+        let g1 = db.generation();
+        assert!(g1 > g0);
+        assert_eq!(db.remove_cve("CVE-nope"), 0);
+        assert_eq!(db.generation(), g1, "no-op removal must not invalidate");
+        assert_eq!(db.remove_cve("CVE-1"), 1);
+        assert!(db.generation() > g1);
+        // Distinct instances never share a generation.
+        assert_ne!(
+            DnaDatabase::new().generation(),
+            DnaDatabase::new().generation()
+        );
+        // Equality ignores generations.
+        assert_eq!(DnaDatabase::new(), DnaDatabase::new());
     }
 
     #[test]

@@ -1,13 +1,29 @@
 //! The engine-facing facade: extract DNA from a compilation trace, compare
 //! against the database, and account the analysis cost.
 
+use std::cell::RefCell;
+
 use jitbull_mir::PassTrace;
 use jitbull_telemetry::{Collector, Event};
 
-use crate::compare::{dangerous_passes, CompareConfig};
+use crate::compare::CompareConfig;
 use crate::db::DnaDatabase;
 use crate::dna::Dna;
 use crate::extract::{extract_dna, trace_work};
+use crate::index::{ComparatorIndex, IndexConfig, IndexStats, QueryReceipt};
+
+/// Which Δ-comparator implementation a [`Guard`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComparatorMode {
+    /// The interned / prefiltered / cached comparator pipeline
+    /// ([`crate::index`]) — the production path.
+    #[default]
+    Indexed,
+    /// The naive normative loop over [`crate::compare::reference`] —
+    /// the oracle the differential harness compares against, and the
+    /// baseline the fig6 bench reports speedups over.
+    Reference,
+}
 
 /// Cycle cost charged per instruction touched during Δ extraction.
 pub const EXTRACT_COST_PER_INSTR: u64 = 120;
@@ -43,12 +59,49 @@ pub struct Analysis {
 pub struct Guard {
     db: DnaDatabase,
     config: CompareConfig,
+    mode: ComparatorMode,
+    /// Lazily (re)built comparator index over `db`; interior-mutable so
+    /// `analyze(&self)` can populate caches. Cloning a guard clones the
+    /// index too — valid, because the clone starts from identical
+    /// database content at the same generation.
+    index: RefCell<ComparatorIndex>,
 }
 
 impl Guard {
-    /// Creates a guard over a database.
+    /// Creates a guard over a database (indexed comparator).
     pub fn new(db: DnaDatabase, config: CompareConfig) -> Self {
-        Guard { db, config }
+        Guard::with_comparator(db, config, ComparatorMode::Indexed)
+    }
+
+    /// Creates a guard with an explicit comparator implementation.
+    pub fn with_comparator(db: DnaDatabase, config: CompareConfig, mode: ComparatorMode) -> Self {
+        Guard {
+            db,
+            config,
+            mode,
+            index: RefCell::new(ComparatorIndex::default()),
+        }
+    }
+
+    /// The comparator implementation in use.
+    pub fn comparator_mode(&self) -> ComparatorMode {
+        self.mode
+    }
+
+    /// Switches the comparator implementation.
+    pub fn set_comparator_mode(&mut self, mode: ComparatorMode) {
+        self.mode = mode;
+    }
+
+    /// Replaces the index tuning knobs (cache bound, shard opt-in).
+    pub fn set_index_config(&mut self, config: IndexConfig) {
+        self.index.borrow_mut().set_config(config);
+    }
+
+    /// Cumulative indexed-comparator counters (all zero while the guard
+    /// runs in [`ComparatorMode::Reference`]).
+    pub fn comparator_stats(&self) -> IndexStats {
+        self.index.borrow().stats()
     }
 
     /// Whether JITBULL processing is active. With an empty database the
@@ -74,14 +127,38 @@ impl Guard {
     }
 
     /// Analyses one compilation trace against every VDC entry (step 2 of
-    /// the paper's workflow; Algorithm 2 inside).
+    /// the paper's workflow; Algorithm 2 inside). Dispatches to the
+    /// comparator selected by [`Guard::comparator_mode`]; both paths
+    /// return identical `dangerous` / `matches` / `dna` (only
+    /// `cost_cycles` differs, reflecting the work each actually does).
     pub fn analyze(&self, trace: &PassTrace, n_slots: usize) -> Analysis {
+        self.analyze_with_receipt(trace, n_slots).0
+    }
+
+    fn analyze_with_receipt(
+        &self,
+        trace: &PassTrace,
+        n_slots: usize,
+    ) -> (Analysis, Option<QueryReceipt>) {
+        match self.mode {
+            ComparatorMode::Reference => (self.analyze_reference(trace, n_slots), None),
+            ComparatorMode::Indexed => {
+                let (analysis, receipt) = self.analyze_indexed(trace, n_slots);
+                (analysis, Some(receipt))
+            }
+        }
+    }
+
+    /// The naive Algorithm 2 loop: full set intersections per (entry,
+    /// slot), costed by sub-chain volume. This is the normative oracle —
+    /// the indexed path must agree with it on every verdict.
+    pub fn analyze_reference(&self, trace: &PassTrace, n_slots: usize) -> Analysis {
         let dna = extract_dna(trace, n_slots);
         let mut cost = trace_work(trace) * EXTRACT_COST_PER_INSTR;
         let mut dangerous: Vec<usize> = Vec::new();
         let mut matches = Vec::new();
         for entry in self.db.entries() {
-            let slots = dangerous_passes(&dna, &entry.dna, &self.config);
+            let slots = crate::compare::reference(&dna, &entry.dna, &self.config);
             // Comparison cost: proportional to the sub-chain volume on both
             // sides.
             let f_chains: usize = dna
@@ -111,15 +188,57 @@ impl Guard {
         }
     }
 
+    /// The indexed pipeline: ensure the index matches the database
+    /// generation, query it (cache → prefilter → interned merges), and
+    /// rebuild the entry-keyed result into the reference shape.
+    fn analyze_indexed(&self, trace: &PassTrace, n_slots: usize) -> (Analysis, QueryReceipt) {
+        let dna = extract_dna(trace, n_slots);
+        let mut cost = trace_work(trace) * EXTRACT_COST_PER_INSTR;
+        let mut index = self.index.borrow_mut();
+        cost += index.ensure(&self.db);
+        let (hits, receipt) = index.query(&dna, &self.config);
+        cost += receipt.cost_cycles;
+        let entries = self.db.entries();
+        let mut dangerous: Vec<usize> = Vec::new();
+        let mut matches = Vec::new();
+        for (idx, slots) in hits.iter() {
+            let entry = &entries[*idx];
+            matches.push((entry.cve.clone(), entry.function.clone(), slots.clone()));
+            dangerous.extend(slots);
+        }
+        dangerous.sort_unstable();
+        dangerous.dedup();
+        (
+            Analysis {
+                dangerous,
+                matches,
+                cost_cycles: cost,
+                dna,
+            },
+            receipt,
+        )
+    }
+
     /// Like [`Guard::analyze`], additionally reporting the analysis as an
-    /// [`Event::GuardAnalyzed`] to `collector`.
+    /// [`Event::GuardAnalyzed`] (preceded, on the indexed path, by an
+    /// [`Event::ComparatorQuery`] describing the cache/prefilter/shard
+    /// work) to `collector`.
     pub fn analyze_observed(
         &self,
         trace: &PassTrace,
         n_slots: usize,
         collector: &mut dyn Collector,
     ) -> Analysis {
-        let analysis = self.analyze(trace, n_slots);
+        let (analysis, receipt) = self.analyze_with_receipt(trace, n_slots);
+        if let Some(r) = receipt {
+            collector.record(Event::ComparatorQuery {
+                function: trace.function.clone(),
+                cache_hit: r.cache_hit,
+                prefilter_rejects: r.prefilter_rejects,
+                set_merges: r.set_merges,
+                shards: r.shards,
+            });
+        }
         collector.record(Event::GuardAnalyzed {
             function: trace.function.clone(),
             matches: analysis.matches.len() as u64,
@@ -250,6 +369,45 @@ mod tests {
         };
         let analysis = guard.analyze(&trace, 32);
         assert!(analysis.dangerous.is_empty(), "{:?}", analysis.matches);
+    }
+
+    #[test]
+    fn comparator_modes_agree_on_everything_but_cost() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", Guard::extract(&trace_removing_check(6), 32));
+        db.install("CVE-B", "g", Guard::extract(&trace_removing_check(11), 32));
+        let indexed = Guard::with_comparator(db.clone(), cfg, ComparatorMode::Indexed);
+        let reference = Guard::with_comparator(db, cfg, ComparatorMode::Reference);
+        for trace in [
+            trace_removing_check(6),
+            trace_removing_check(11),
+            trace_removing_check(3),
+        ] {
+            let a = indexed.analyze(&trace, 32);
+            let b = reference.analyze(&trace, 32);
+            assert_eq!(a.dangerous, b.dangerous);
+            assert_eq!(a.matches, b.matches);
+            assert_eq!(a.dna, b.dna);
+        }
+        let stats = indexed.comparator_stats();
+        assert_eq!(stats.queries, 3);
+        assert_eq!(reference.comparator_stats().queries, 0);
+    }
+
+    #[test]
+    fn indexed_cache_hits_on_repeat_and_invalidates_on_change() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", Guard::extract(&trace_removing_check(6), 32));
+        let mut guard = Guard::new(db, cfg);
+        let trace = trace_removing_check(6);
+        assert_eq!(guard.analyze(&trace, 32).dangerous, vec![6]);
+        assert_eq!(guard.analyze(&trace, 32).dangerous, vec![6]);
+        assert_eq!(guard.comparator_stats().cache_hits, 1);
+        // Removing the CVE must not serve the stale cached verdict.
+        guard.db_mut().remove_cve("CVE-A");
+        assert!(guard.analyze(&trace, 32).dangerous.is_empty());
     }
 
     #[test]

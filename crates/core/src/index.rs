@@ -1,0 +1,719 @@
+//! The indexed Δ comparator: interner, fingerprint prefilter, query
+//! cache, and sharded parallel scan.
+//!
+//! [`crate::compare::reference`] (the naive Algorithm 2 loop) recomputes
+//! full `BTreeSet<Chain>` intersections for every (function, VDC, slot)
+//! triple, so its cost is `O(entries × slots × chains × chain-length)`
+//! string comparisons per Ion compilation — the runtime overhead the
+//! paper's Figure 6 measures as the database grows. This module makes the
+//! same decision procedure cheap without changing a single verdict:
+//!
+//! 1. **Chain interner** ([`ChainInterner`]): every distinct [`Chain`] is
+//!    mapped to a dense `u32` id, so each `BTreeSet<Chain>` becomes a
+//!    sorted `Vec<u32>` and set intersection becomes a linear merge over
+//!    machine words instead of lexicographic string-vector comparisons.
+//! 2. **Fingerprint prefilter** ([`fingerprint`]): each delta side also
+//!    carries a 64-bit Bloom-style hash of its chain ids. If the two
+//!    fingerprints share no bit the sets share no chain, so the (slot,
+//!    VDC) pair is rejected without touching the id vectors. The filter
+//!    has false *positives* (a shared bit does not imply a shared chain)
+//!    but never false negatives, so it can only skip work, never change
+//!    the answer.
+//! 3. **Query cache**: verdicts are memoised per function DNA, keyed by
+//!    [`Dna::structural_hash`] and verified by full equality (a hash
+//!    collision degrades to a miss, never to a wrong verdict). The cache
+//!    is invalidated wholesale whenever the database's generation counter
+//!    moves (see [`DnaDatabase::generation`]).
+//! 4. **Sharded scan**: an opt-in `std::thread::scope` fan-out that
+//!    splits database entries across worker threads once the scan's
+//!    `entries × slots` work estimate exceeds
+//!    [`IndexConfig::parallel_threshold`]. Only the interned (`u32`/`u64`)
+//!    representation crosses threads — `Chain`'s `Rc<str>` labels never
+//!    do — which is why the interner stays on the query thread.
+//!
+//! The simulated-cycle cost model mirrors the work actually done (hash,
+//! intern, prefilter, merge), so `repro` figures built on
+//! [`QueryReceipt::cost_cycles`] show the same shape a wall clock does.
+//! Sharding divides wall-clock latency, not simulated cycles: the
+//! receipt charges total work, wherever it ran.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::compare::CompareConfig;
+use crate::db::DnaDatabase;
+use crate::dna::{Chain, Dna, PassDelta};
+
+/// Cycles charged per chain for structurally hashing a query DNA.
+pub const HASH_COST_PER_CHAIN: u64 = 2;
+/// Cycles charged per chain for interning (build or query side).
+pub const INTERN_COST_PER_CHAIN: u64 = 8;
+/// Cycles charged per fingerprint prefilter check.
+pub const PREFILTER_COST: u64 = 2;
+/// Cycles charged per id touched by a linear-merge intersection.
+pub const MERGE_COST_PER_ID: u64 = 3;
+/// Flat cycles charged for serving a verdict from the query cache.
+pub const CACHE_HIT_COST: u64 = 25;
+
+/// Maps each distinct [`Chain`] to a dense `u32` id.
+///
+/// Ids are assigned in first-seen order and are stable for the lifetime
+/// of the interner: interning more chains never changes an existing id.
+#[derive(Debug, Clone, Default)]
+pub struct ChainInterner {
+    ids: HashMap<Chain, u32>,
+    chains: Vec<Chain>,
+}
+
+impl ChainInterner {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        ChainInterner::default()
+    }
+
+    /// The id for `chain`, allocating one on first sight.
+    pub fn intern(&mut self, chain: &Chain) -> u32 {
+        if let Some(&id) = self.ids.get(chain) {
+            return id;
+        }
+        let id = u32::try_from(self.chains.len()).expect("interner overflow");
+        self.chains.push(chain.clone());
+        self.ids.insert(chain.clone(), id);
+        id
+    }
+
+    /// The chain behind `id`, if allocated.
+    #[must_use]
+    pub fn resolve(&self, id: u32) -> Option<&Chain> {
+        self.chains.get(id as usize)
+    }
+
+    /// Number of distinct chains interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Whether nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chains.is_empty()
+    }
+}
+
+/// SplitMix64 finalizer — the same mixer `jitbull-prng` uses.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A 64-bit Bloom-style fingerprint over chain ids (two bits per id).
+///
+/// Guarantee: if sets `A ⊇ B` then `fingerprint(A) & fingerprint(B) ==
+/// fingerprint(B)` — a superset's fingerprint covers the subset's bits —
+/// so two sets with a common element always share at least one bit and
+/// [`prefilter_may_match`] never rejects a pair the comparator would
+/// match.
+#[must_use]
+pub fn fingerprint(ids: &[u32]) -> u64 {
+    ids.iter().fold(0u64, |fp, &id| {
+        let h = mix64(u64::from(id));
+        fp | (1u64 << (h & 63)) | (1u64 << ((h >> 6) & 63))
+    })
+}
+
+/// Whether two fingerprinted sets can possibly intersect.
+#[inline]
+#[must_use]
+pub fn prefilter_may_match(fp_a: u64, fp_b: u64) -> bool {
+    fp_a & fp_b != 0
+}
+
+/// Number of common ids between two sorted, duplicate-free id slices.
+#[must_use]
+pub fn intersection_count(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut eq) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                eq += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    eq
+}
+
+/// `COMPARECHAINS` over interned id sets — decision-identical to
+/// [`crate::compare::compare_chains`] on the chains the ids stand for
+/// (same thresholds, same float expression).
+#[must_use]
+pub fn compare_ids(a: &[u32], b: &[u32], config: &CompareConfig) -> bool {
+    let max_eq = a.len().min(b.len());
+    if max_eq == 0 {
+        return false;
+    }
+    let eq = intersection_count(a, b);
+    eq >= config.thr && (eq as f64) >= config.ratio * (max_eq as f64)
+}
+
+/// One pass delta in interned form: sorted id vectors plus per-side
+/// fingerprints.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexedDelta {
+    /// Interned `δ⁻`, sorted ascending (set semantics preserved: the
+    /// source `BTreeSet` holds distinct chains and interning is
+    /// injective, so ids are distinct).
+    pub removed: Vec<u32>,
+    /// Interned `δ⁺`, sorted ascending.
+    pub added: Vec<u32>,
+    /// Fingerprint of `removed`.
+    pub removed_fp: u64,
+    /// Fingerprint of `added`.
+    pub added_fp: u64,
+}
+
+impl IndexedDelta {
+    /// Interns one [`PassDelta`].
+    pub fn from_delta(delta: &PassDelta, interner: &mut ChainInterner) -> Self {
+        let mut removed: Vec<u32> = delta.removed.iter().map(|c| interner.intern(c)).collect();
+        removed.sort_unstable();
+        let mut added: Vec<u32> = delta.added.iter().map(|c| interner.intern(c)).collect();
+        added.sort_unstable();
+        let removed_fp = fingerprint(&removed);
+        let added_fp = fingerprint(&added);
+        IndexedDelta {
+            removed,
+            added,
+            removed_fp,
+            added_fp,
+        }
+    }
+}
+
+/// One database entry in interned form.
+#[derive(Debug, Clone)]
+pub struct IndexedEntry {
+    /// Per-slot interned deltas (same slot indexing as the source
+    /// [`Dna`]).
+    pub slots: Vec<IndexedDelta>,
+    /// Total chains across all slots (cost accounting).
+    pub chains: u64,
+}
+
+/// Tuning knobs for the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexConfig {
+    /// Scan-work estimate (`entries × query slots`) above which the scan
+    /// shards across threads. The default (`usize::MAX`) keeps the scan
+    /// sequential — sharding is opt-in because spawning threads per
+    /// query only pays off for databases far larger than the paper's
+    /// one-or-two-window steady state.
+    pub parallel_threshold: usize,
+    /// Worker threads for a sharded scan (clamped to the entry count).
+    /// Deliberately *not* clamped to the host's core count: sharding is
+    /// already opt-in via `parallel_threshold`, and a deterministic shard
+    /// count keeps scan behaviour reproducible across machines. Callers
+    /// that care should set this to their core count.
+    pub max_shards: usize,
+    /// Distinct query DNAs cached before the cache is reset wholesale.
+    /// `0` disables caching entirely.
+    pub max_cache_entries: usize,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            parallel_threshold: usize::MAX,
+            max_shards: 8,
+            max_cache_entries: 4096,
+        }
+    }
+}
+
+/// What one [`ComparatorIndex::query`] did, for telemetry and the
+/// simulated cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryReceipt {
+    /// Whether the verdict came from the query cache.
+    pub cache_hit: bool,
+    /// (slot, entry) delta sides rejected by the fingerprint prefilter.
+    pub prefilter_rejects: u64,
+    /// Linear-merge intersections actually performed.
+    pub set_merges: u64,
+    /// Worker threads used (`0` = sequential scan).
+    pub shards: u64,
+    /// Simulated cycles the query consumed.
+    pub cost_cycles: u64,
+}
+
+/// Cumulative counters across an index's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Queries served.
+    pub queries: u64,
+    /// Queries answered from the cache.
+    pub cache_hits: u64,
+    /// Prefilter rejections.
+    pub prefilter_rejects: u64,
+    /// Merges performed.
+    pub set_merges: u64,
+    /// Queries that ran sharded.
+    pub sharded_scans: u64,
+    /// Index rebuilds (database generation changes observed).
+    pub rebuilds: u64,
+}
+
+/// Per-entry dangerous-slot lists, in database-entry order; entries with
+/// no similar slot are omitted. Index positions refer to
+/// [`DnaDatabase::entries`] at the generation the query ran against.
+pub type EntryMatches = Vec<(usize, Vec<usize>)>;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ScanCounters {
+    prefilter_rejects: u64,
+    set_merges: u64,
+    cost: u64,
+}
+
+fn side_similar(
+    a: &[u32],
+    b: &[u32],
+    fp_a: u64,
+    fp_b: u64,
+    config: &CompareConfig,
+    counters: &mut ScanCounters,
+) -> bool {
+    if a.is_empty() || b.is_empty() {
+        // `max_eq == 0`: the reference comparator's early return.
+        return false;
+    }
+    if config.thr >= 1 && !prefilter_may_match(fp_a, fp_b) {
+        // Disjoint fingerprints ⇒ empty intersection ⇒ `eq == 0 < thr`.
+        counters.prefilter_rejects += 1;
+        counters.cost += PREFILTER_COST;
+        return false;
+    }
+    counters.set_merges += 1;
+    counters.cost += PREFILTER_COST + (a.len() + b.len()) as u64 * MERGE_COST_PER_ID;
+    compare_ids(a, b, config)
+}
+
+fn delta_pair_similar(
+    f: &IndexedDelta,
+    v: &IndexedDelta,
+    config: &CompareConfig,
+    counters: &mut ScanCounters,
+) -> bool {
+    side_similar(
+        &f.removed,
+        &v.removed,
+        f.removed_fp,
+        v.removed_fp,
+        config,
+        counters,
+    ) || side_similar(&f.added, &v.added, f.added_fp, v.added_fp, config, counters)
+}
+
+fn dangerous_slots_indexed(
+    query: &[IndexedDelta],
+    entry: &[IndexedDelta],
+    config: &CompareConfig,
+    counters: &mut ScanCounters,
+) -> Vec<usize> {
+    let n = query.len().min(entry.len());
+    (0..n)
+        .filter(|&i| delta_pair_similar(&query[i], &entry[i], config, counters))
+        .collect()
+}
+
+/// The comparator index over one [`DnaDatabase`]'s entries.
+///
+/// Built lazily: [`ComparatorIndex::ensure`] re-interns the database
+/// whenever its generation counter has moved (install / `remove_cve` /
+/// wholesale replacement), which also drops every cached verdict — a
+/// query can therefore never observe a database state other than the one
+/// it was answered against.
+#[derive(Debug, Clone, Default)]
+pub struct ComparatorIndex {
+    interner: ChainInterner,
+    entries: Vec<IndexedEntry>,
+    /// Database generation this index reflects (`0` = never built;
+    /// real generations start at 1).
+    generation: u64,
+    /// structural hash → (query DNA, verdicts) buckets. Equality on the
+    /// stored DNA guards against hash collisions.
+    cache: HashMap<u64, Vec<(Dna, Rc<EntryMatches>)>>,
+    cached: usize,
+    stats: IndexStats,
+    config: IndexConfig,
+}
+
+impl ComparatorIndex {
+    /// An empty index with the given tuning knobs.
+    #[must_use]
+    pub fn new(config: IndexConfig) -> Self {
+        ComparatorIndex {
+            config,
+            ..ComparatorIndex::default()
+        }
+    }
+
+    /// Cumulative counters.
+    #[must_use]
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// The tuning knobs in effect.
+    #[must_use]
+    pub fn config(&self) -> IndexConfig {
+        self.config
+    }
+
+    /// Replaces the tuning knobs (drops the cache: cached verdicts are
+    /// still valid, but this keeps reconfiguration semantics trivial).
+    pub fn set_config(&mut self, config: IndexConfig) {
+        self.config = config;
+        self.cache.clear();
+        self.cached = 0;
+    }
+
+    /// Rebuilds the index if `db` has changed generation since the last
+    /// build. Returns the simulated cycles the rebuild cost (0 when the
+    /// index was already current).
+    pub fn ensure(&mut self, db: &DnaDatabase) -> u64 {
+        if self.generation == db.generation() {
+            return 0;
+        }
+        self.interner = ChainInterner::new();
+        self.cache.clear();
+        self.cached = 0;
+        let mut cost = 0u64;
+        self.entries = db
+            .entries()
+            .iter()
+            .map(|e| {
+                let slots: Vec<IndexedDelta> = e
+                    .dna
+                    .deltas
+                    .iter()
+                    .map(|d| IndexedDelta::from_delta(d, &mut self.interner))
+                    .collect();
+                let chains: u64 = slots
+                    .iter()
+                    .map(|s| (s.removed.len() + s.added.len()) as u64)
+                    .sum();
+                cost += chains * INTERN_COST_PER_CHAIN;
+                IndexedEntry { slots, chains }
+            })
+            .collect();
+        self.generation = db.generation();
+        self.stats.rebuilds += 1;
+        cost
+    }
+
+    /// Answers Algorithm 2 for `dna` against every indexed entry.
+    ///
+    /// Returns the per-entry dangerous slots (database-entry order,
+    /// non-matching entries omitted) plus a [`QueryReceipt`] describing
+    /// the work done. Decision-identical to running
+    /// [`crate::compare::reference`] against each entry.
+    pub fn query(&mut self, dna: &Dna, config: &CompareConfig) -> (Rc<EntryMatches>, QueryReceipt) {
+        self.stats.queries += 1;
+        let f_chains: u64 = dna
+            .deltas
+            .iter()
+            .map(|d| (d.removed.len() + d.added.len()) as u64)
+            .sum();
+        let mut receipt = QueryReceipt {
+            cost_cycles: f_chains * HASH_COST_PER_CHAIN,
+            ..QueryReceipt::default()
+        };
+        let caching = self.config.max_cache_entries > 0;
+        let hash = dna.structural_hash();
+        if caching {
+            if let Some(bucket) = self.cache.get(&hash) {
+                if let Some((_, result)) = bucket.iter().find(|(key, _)| key == dna) {
+                    receipt.cache_hit = true;
+                    receipt.cost_cycles += CACHE_HIT_COST;
+                    self.stats.cache_hits += 1;
+                    return (Rc::clone(result), receipt);
+                }
+            }
+        }
+
+        // Miss: intern the query side, then scan.
+        receipt.cost_cycles += f_chains * INTERN_COST_PER_CHAIN;
+        let query: Vec<IndexedDelta> = dna
+            .deltas
+            .iter()
+            .map(|d| IndexedDelta::from_delta(d, &mut self.interner))
+            .collect();
+        let work = self.entries.len().saturating_mul(query.len());
+        let shards = self.shard_count(work);
+        let (matches, counters) = if shards > 1 {
+            self.stats.sharded_scans += 1;
+            receipt.shards = shards as u64;
+            scan_parallel(&self.entries, &query, config, shards)
+        } else {
+            scan_sequential(&self.entries, &query, config)
+        };
+        receipt.prefilter_rejects = counters.prefilter_rejects;
+        receipt.set_merges = counters.set_merges;
+        receipt.cost_cycles += counters.cost;
+        self.stats.prefilter_rejects += counters.prefilter_rejects;
+        self.stats.set_merges += counters.set_merges;
+
+        let result = Rc::new(matches);
+        if caching {
+            if self.cached >= self.config.max_cache_entries {
+                self.cache.clear();
+                self.cached = 0;
+            }
+            self.cache
+                .entry(hash)
+                .or_default()
+                .push((dna.clone(), Rc::clone(&result)));
+            self.cached += 1;
+        }
+        (result, receipt)
+    }
+
+    fn shard_count(&self, work: usize) -> usize {
+        if work < self.config.parallel_threshold || self.entries.len() < 2 {
+            return 1;
+        }
+        self.config.max_shards.min(self.entries.len()).max(1)
+    }
+}
+
+fn scan_sequential(
+    entries: &[IndexedEntry],
+    query: &[IndexedDelta],
+    config: &CompareConfig,
+) -> (EntryMatches, ScanCounters) {
+    let mut counters = ScanCounters::default();
+    let mut matches = EntryMatches::new();
+    for (idx, entry) in entries.iter().enumerate() {
+        let slots = dangerous_slots_indexed(query, &entry.slots, config, &mut counters);
+        if !slots.is_empty() {
+            matches.push((idx, slots));
+        }
+    }
+    (matches, counters)
+}
+
+/// Splits `entries` into `shards` contiguous ranges and scans them on
+/// scoped worker threads. Only interned data crosses the thread
+/// boundary; results come back in entry order, so the output is
+/// byte-identical to [`scan_sequential`].
+fn scan_parallel(
+    entries: &[IndexedEntry],
+    query: &[IndexedDelta],
+    config: &CompareConfig,
+    shards: usize,
+) -> (EntryMatches, ScanCounters) {
+    let chunk = entries.len().div_ceil(shards);
+    let per_shard: Vec<(EntryMatches, ScanCounters)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = entries
+            .chunks(chunk)
+            .enumerate()
+            .map(|(shard, slice)| {
+                let base = shard * chunk;
+                scope.spawn(move || {
+                    let mut counters = ScanCounters::default();
+                    let mut matches = EntryMatches::new();
+                    for (off, entry) in slice.iter().enumerate() {
+                        let slots =
+                            dangerous_slots_indexed(query, &entry.slots, config, &mut counters);
+                        if !slots.is_empty() {
+                            matches.push((base + off, slots));
+                        }
+                    }
+                    (matches, counters)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("comparator shard panicked"))
+            .collect()
+    });
+    let mut matches = EntryMatches::new();
+    let mut counters = ScanCounters::default();
+    for (m, c) in per_shard {
+        matches.extend(m);
+        counters.prefilter_rejects += c.prefilter_rejects;
+        counters.set_merges += c.set_merges;
+        counters.cost += c.cost;
+    }
+    (matches, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dna::chain;
+    use std::collections::BTreeSet;
+
+    fn set(chains: &[&[&str]]) -> BTreeSet<Chain> {
+        chains.iter().map(|c| chain(c)).collect()
+    }
+
+    fn dna_with(slot: usize, removed: &[&[&str]], added: &[&[&str]]) -> Dna {
+        let mut dna = Dna::with_slots(8);
+        dna.deltas[slot].removed = set(removed);
+        dna.deltas[slot].added = set(added);
+        dna
+    }
+
+    #[test]
+    fn interner_round_trips_and_dedups() {
+        let mut interner = ChainInterner::new();
+        let a = chain(&["boundscheck", "initializedlength"]);
+        let b = chain(&["add", "parameter0"]);
+        let ia = interner.intern(&a);
+        let ib = interner.intern(&b);
+        assert_ne!(ia, ib);
+        assert_eq!(interner.intern(&a), ia);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.resolve(ia), Some(&a));
+        assert_eq!(interner.resolve(ib), Some(&b));
+        assert_eq!(interner.resolve(99), None);
+    }
+
+    #[test]
+    fn compare_ids_mirrors_compare_chains_thresholds() {
+        let cfg = CompareConfig::default();
+        // 3 shared ids of min-set 3 → Thr and Ratio both satisfied.
+        assert!(compare_ids(&[1, 2, 3], &[1, 2, 3, 9, 10], &cfg));
+        // 2 shared < Thr.
+        assert!(!compare_ids(&[1, 2], &[1, 2], &cfg));
+        // 3 shared of min-set 8 → ratio 37.5 % < 50 %.
+        assert!(!compare_ids(
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+            &[1, 2, 3, 14, 15, 16, 17, 18],
+            &cfg
+        ));
+        // Empty side never matches.
+        assert!(!compare_ids(&[], &[], &cfg));
+        assert!(!compare_ids(&[1], &[], &cfg));
+    }
+
+    #[test]
+    fn fingerprint_never_rejects_intersecting_sets() {
+        // Any two sets sharing an id share that id's bits.
+        for shared in 0..512u32 {
+            let a = fingerprint(&[shared, shared + 1000]);
+            let b = fingerprint(&[shared, shared + 2000]);
+            assert!(prefilter_may_match(a, b), "id {shared}");
+        }
+    }
+
+    #[test]
+    fn query_matches_reference_on_a_small_db() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let vdc = dna_with(3, &[&["boundscheck", "initializedlength"]], &[]);
+        let other = dna_with(5, &[&["add", "mul"]], &[]);
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", vdc.clone());
+        db.install("CVE-B", "g", other);
+        let mut index = ComparatorIndex::new(IndexConfig::default());
+        index.ensure(&db);
+        let (matches, receipt) = index.query(&vdc, &cfg);
+        assert_eq!(*matches, vec![(0, vec![3])]);
+        assert!(!receipt.cache_hit);
+        assert!(receipt.cost_cycles > 0);
+        // Reference agrees.
+        for (i, e) in db.entries().iter().enumerate() {
+            let slots = crate::compare::reference(&vdc, &e.dna, &cfg);
+            match matches.iter().find(|(idx, _)| *idx == i) {
+                Some((_, s)) => assert_eq!(*s, slots),
+                None => assert!(slots.is_empty()),
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_on_repeat_and_invalidates_on_change() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let vdc = dna_with(3, &[&["boundscheck", "initializedlength"]], &[]);
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", vdc.clone());
+        let mut index = ComparatorIndex::new(IndexConfig::default());
+        index.ensure(&db);
+        let (first, r1) = index.query(&vdc, &cfg);
+        let (second, r2) = index.query(&vdc, &cfg);
+        assert!(!r1.cache_hit);
+        assert!(r2.cache_hit);
+        assert_eq!(first, second);
+        assert_eq!(index.stats().cache_hits, 1);
+        // A database change rebuilds and forgets the cache.
+        db.remove_cve("CVE-A");
+        assert!(index.ensure(&db) == 0 || index.stats().rebuilds >= 1);
+        let (after, r3) = index.query(&vdc, &cfg);
+        assert!(!r3.cache_hit);
+        assert!(after.is_empty());
+    }
+
+    #[test]
+    fn parallel_scan_agrees_with_sequential() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut db = DnaDatabase::new();
+        for i in 0..16 {
+            let slot = i % 8;
+            let label = format!("op{i}");
+            let mut dna = Dna::with_slots(8);
+            dna.deltas[slot].removed = set(&[
+                &[label.as_str(), "x"],
+                &["boundscheck", "initializedlength"],
+            ]);
+            db.install(format!("CVE-{i}"), "f", dna);
+        }
+        let query = dna_with(
+            2,
+            &[&["boundscheck", "initializedlength"], &["op2", "x"]],
+            &[],
+        );
+        let mut seq = ComparatorIndex::new(IndexConfig {
+            max_cache_entries: 0,
+            ..IndexConfig::default()
+        });
+        seq.ensure(&db);
+        let (expected, _) = seq.query(&query, &cfg);
+        let mut par = ComparatorIndex::new(IndexConfig {
+            parallel_threshold: 0,
+            max_shards: 4,
+            max_cache_entries: 0,
+        });
+        par.ensure(&db);
+        let (got, receipt) = par.query(&query, &cfg);
+        assert_eq!(expected, got);
+        assert!(receipt.shards >= 2, "{receipt:?}");
+        assert_eq!(par.stats().sharded_scans, 1);
+    }
+
+    #[test]
+    fn zero_cache_config_disables_caching() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let vdc = dna_with(3, &[&["boundscheck", "initializedlength"]], &[]);
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", vdc.clone());
+        let mut index = ComparatorIndex::new(IndexConfig {
+            max_cache_entries: 0,
+            ..IndexConfig::default()
+        });
+        index.ensure(&db);
+        let (_, r1) = index.query(&vdc, &cfg);
+        let (_, r2) = index.query(&vdc, &cfg);
+        assert!(!r1.cache_hit && !r2.cache_hit);
+        assert_eq!(index.stats().cache_hits, 0);
+    }
+}

@@ -24,6 +24,9 @@
 //!   patch).
 //! * [`policy`] — the go / recompile-without-passes / no-JIT decision
 //!   (§V's three scenarios).
+//! * [`index`] — the fast comparator pipeline (chain interner, Bloom-style
+//!   fingerprint prefilter, DNA-keyed query cache, opt-in sharded scan)
+//!   that must agree with [`compare`] on every verdict.
 //! * [`guard`] — the engine-facing facade gluing the above together, with
 //!   the analysis cycle-cost accounting used by the benchmark harness.
 //!
@@ -42,11 +45,13 @@ pub mod db;
 pub mod dna;
 pub mod extract;
 pub mod guard;
+pub mod index;
 pub mod policy;
 
 pub use compare::{compare_chains, CompareConfig};
 pub use db::{DnaDatabase, VdcEntry};
 pub use dna::{Chain, Dna, PassDelta};
 pub use extract::{extract_delta, extract_dna};
-pub use guard::{Analysis, Guard};
+pub use guard::{Analysis, ComparatorMode, Guard};
+pub use index::{ChainInterner, ComparatorIndex, IndexConfig, IndexStats, QueryReceipt};
 pub use policy::{decide, decide_observed, Decision};

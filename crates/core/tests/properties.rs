@@ -7,7 +7,8 @@ use std::rc::Rc;
 
 use jitbull::compare::{compare_chains, CompareConfig};
 use jitbull::extract::extract_delta;
-use jitbull::Chain;
+use jitbull::index::{compare_ids, fingerprint, prefilter_may_match};
+use jitbull::{Chain, ChainInterner};
 use jitbull_mir::{MirSnapshot, SnapInstr};
 use jitbull_prng::Rng;
 
@@ -136,6 +137,99 @@ fn disjoint_sets_never_match() {
             })
             .collect();
         assert!(!compare_chains(&set, &relabeled, &config), "seed {seed}");
+    }
+}
+
+/// Interner round-trip: every interned chain resolves back to itself,
+/// ids are stable under later interning, and equal chains share one id.
+#[test]
+fn interner_round_trip_stability_and_dedup() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let chains: Vec<Chain> = chain_set(&mut rng).into_iter().collect();
+        let mut interner = ChainInterner::new();
+        let ids: Vec<u32> = chains.iter().map(|c| interner.intern(c)).collect();
+        // Round-trip.
+        for (c, &id) in chains.iter().zip(&ids) {
+            assert_eq!(interner.resolve(id), Some(c), "seed {seed}");
+        }
+        // Dedup: distinct chains got distinct ids, equal chains equal ids.
+        for (i, a) in chains.iter().enumerate() {
+            for (j, b) in chains.iter().enumerate() {
+                assert_eq!(a == b, ids[i] == ids[j], "seed {seed}: {i} vs {j}");
+            }
+        }
+        // Stability: interning more chains never moves an existing id.
+        let more = chain_set(&mut rng);
+        for c in &more {
+            interner.intern(c);
+        }
+        for (c, &id) in chains.iter().zip(&ids) {
+            assert_eq!(interner.intern(&c.clone()), id, "seed {seed}");
+            assert_eq!(interner.resolve(id), Some(c), "seed {seed}");
+        }
+    }
+}
+
+/// The fingerprint prefilter has no false negatives: whenever two chain
+/// sets intersect, their fingerprints share at least one bit.
+#[test]
+fn fingerprint_never_rejects_intersecting_sets() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = chain_set(&mut rng);
+        let b = chain_set(&mut rng);
+        // Force an intersection half the time by injecting a shared chain.
+        let (a, b) = if seed % 2 == 0 && !a.is_empty() {
+            let shared = a.iter().next().cloned().unwrap();
+            let mut b2 = b.clone();
+            b2.insert(shared);
+            (a, b2)
+        } else {
+            (a, b)
+        };
+        let mut interner = ChainInterner::new();
+        let ids_a: Vec<u32> = {
+            let mut v: Vec<u32> = a.iter().map(|c| interner.intern(c)).collect();
+            v.sort_unstable();
+            v
+        };
+        let ids_b: Vec<u32> = {
+            let mut v: Vec<u32> = b.iter().map(|c| interner.intern(c)).collect();
+            v.sort_unstable();
+            v
+        };
+        if a.intersection(&b).count() > 0 {
+            assert!(
+                prefilter_may_match(fingerprint(&ids_a), fingerprint(&ids_b)),
+                "seed {seed}: false negative"
+            );
+        }
+    }
+}
+
+/// On interned ids, `compare_ids` decides exactly like `compare_chains`
+/// does on the chains the ids stand for, across random thresholds.
+#[test]
+fn compare_ids_agrees_with_compare_chains() {
+    for seed in 0..CASES {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = chain_set(&mut rng);
+        let b = chain_set(&mut rng);
+        let config = CompareConfig {
+            thr: rng.gen_range(0..6usize),
+            ratio: rng.gen_range(0..101u32) as f64 / 100.0,
+        };
+        let mut interner = ChainInterner::new();
+        let mut ids_a: Vec<u32> = a.iter().map(|c| interner.intern(c)).collect();
+        ids_a.sort_unstable();
+        let mut ids_b: Vec<u32> = b.iter().map(|c| interner.intern(c)).collect();
+        ids_b.sort_unstable();
+        assert_eq!(
+            compare_ids(&ids_a, &ids_b, &config),
+            compare_chains(&a, &b, &config),
+            "seed {seed}"
+        );
     }
 }
 

@@ -18,7 +18,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use jitbull::{decide, decide_observed, Decision, Guard};
+use jitbull::{decide, decide_observed, ComparatorMode, Decision, Guard};
 use jitbull_frontend::parse_program;
 use jitbull_mir::build_mir;
 use jitbull_telemetry::{Collector, Event, Tier};
@@ -80,6 +80,9 @@ pub struct EngineConfig {
     pub disabled_slots: std::collections::HashSet<usize>,
     /// Optimizing-tier backend (LIR by default).
     pub backend: Backend,
+    /// Which Δ-comparator implementation the guard uses (indexed by
+    /// default; `Reference` runs the naive normative Algorithm 2 loop).
+    pub comparator: ComparatorMode,
 }
 
 impl Default for EngineConfig {
@@ -93,6 +96,7 @@ impl Default for EngineConfig {
             fuel: 500_000_000,
             disabled_slots: std::collections::HashSet::new(),
             backend: Backend::default(),
+            comparator: ComparatorMode::default(),
         }
     }
 }
@@ -177,8 +181,11 @@ impl Engine {
         }
     }
 
-    /// Creates an engine protected by a JITBULL guard.
-    pub fn with_guard(config: EngineConfig, guard: Guard) -> Self {
+    /// Creates an engine protected by a JITBULL guard. The guard is
+    /// switched to the comparator selected by
+    /// [`EngineConfig::comparator`], so the config knob is authoritative.
+    pub fn with_guard(config: EngineConfig, mut guard: Guard) -> Self {
+        guard.set_comparator_mode(config.comparator);
         Engine {
             config,
             guard: Some(guard),

@@ -78,6 +78,21 @@ pub enum Event {
         /// Simulated compile cycles attributed to the slot.
         cycles: u64,
     },
+    /// The indexed comparator served one guard query (emitted before the
+    /// matching [`Event::GuardAnalyzed`]; absent on the reference path).
+    ComparatorQuery {
+        /// Function whose DNA was queried.
+        function: String,
+        /// Whether the verdict came from the DNA-keyed query cache.
+        cache_hit: bool,
+        /// (entry, slot, side) comparisons skipped by the fingerprint
+        /// prefilter.
+        prefilter_rejects: u64,
+        /// Full interned-id set merges actually performed.
+        set_merges: u64,
+        /// Scan shards used (1 = sequential).
+        shards: u64,
+    },
     /// The JITBULL guard analyzed one compilation trace.
     GuardAnalyzed {
         /// Function whose trace was analyzed.
@@ -144,6 +159,7 @@ impl Event {
             Event::CompileStarted { .. } => "compile_started",
             Event::TierPromoted { .. } => "tier_promoted",
             Event::PassApplied { .. } => "pass_applied",
+            Event::ComparatorQuery { .. } => "comparator_query",
             Event::GuardAnalyzed { .. } => "guard_analyzed",
             Event::PolicyDecision { .. } => "policy_decision",
             Event::ExploitOutcome { .. } => "exploit_outcome",

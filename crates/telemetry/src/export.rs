@@ -99,6 +99,15 @@ fn event_line(ev: &Event) -> String {
         } => format!(
             "pass_applied     slot={slot} pass={name} -{instrs_removed}/+{instrs_added} cycles={cycles}"
         ),
+        Event::ComparatorQuery {
+            function,
+            cache_hit,
+            prefilter_rejects,
+            set_merges,
+            shards,
+        } => format!(
+            "comparator_query fn={function} cache_hit={cache_hit} prefilter_rejects={prefilter_rejects} merges={set_merges} shards={shards}"
+        ),
         Event::GuardAnalyzed {
             function,
             matches,
@@ -182,6 +191,20 @@ fn push_event_json(out: &mut String, ev: &Event) {
             let _ = write!(
                 out,
                 ",\"instrs_removed\":{instrs_removed},\"instrs_added\":{instrs_added},\"cycles\":{cycles}"
+            );
+        }
+        Event::ComparatorQuery {
+            function,
+            cache_hit,
+            prefilter_rejects,
+            set_merges,
+            shards,
+        } => {
+            out.push_str(",\"function\":");
+            push_json_str(out, function);
+            let _ = write!(
+                out,
+                ",\"cache_hit\":{cache_hit},\"prefilter_rejects\":{prefilter_rejects},\"set_merges\":{set_merges},\"shards\":{shards}"
             );
         }
         Event::GuardAnalyzed {

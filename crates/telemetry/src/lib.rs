@@ -174,6 +174,28 @@ impl Recorder {
                 s.instrs_removed = s.instrs_removed.saturating_add(*instrs_removed);
                 s.instrs_added = s.instrs_added.saturating_add(*instrs_added);
             }
+            Event::ComparatorQuery {
+                cache_hit,
+                prefilter_rejects,
+                set_merges,
+                shards,
+                ..
+            } => {
+                self.metrics.counter_inc("comparator.queries");
+                self.metrics.counter_inc(if *cache_hit {
+                    "comparator.cache_hits"
+                } else {
+                    "comparator.cache_misses"
+                });
+                self.metrics
+                    .counter_add("comparator.prefilter_rejects", *prefilter_rejects);
+                self.metrics
+                    .counter_add("comparator.set_merges", *set_merges);
+                if *shards > 1 {
+                    self.metrics.counter_inc("comparator.sharded_scans");
+                }
+                self.metrics.counter_add("comparator.shards", *shards);
+            }
             Event::GuardAnalyzed {
                 matches,
                 dangerous,

@@ -108,7 +108,10 @@ fn run_inner(
     collector: Option<Rc<RefCell<dyn Collector>>>,
 ) -> Result<Measurement, VmError> {
     let mut engine = match db {
-        Some(db) => Engine::with_guard(config, Guard::new(db, CompareConfig::default())),
+        Some(db) => {
+            let guard = Guard::with_comparator(db, CompareConfig::default(), config.comparator);
+            Engine::with_guard(config, guard)
+        }
         None => Engine::new(config),
     };
     if let Some(c) = collector {

@@ -63,6 +63,103 @@ fn database_file_workflow() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The comparator cache must never serve a verdict from a previous
+/// database state: install → query → remove → query must see the removal
+/// immediately, and re-install must see the new entry.
+#[test]
+fn comparator_cache_never_goes_stale_across_installs_and_removals() {
+    let vdcs = [vdc(CveId::Cve2019_9810), vdc(CveId::Cve2019_9813)];
+    let db = build_database(&vdcs).unwrap();
+    let entry_9810: Vec<_> = db
+        .entries()
+        .iter()
+        .filter(|e| e.cve == "CVE-2019-9810")
+        .cloned()
+        .collect();
+    assert!(!entry_9810.is_empty());
+    // Query DNA: one of 9810's own entries (guaranteed self-match at the
+    // permissive threshold).
+    let query = entry_9810[0].dna.clone();
+    let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+    let mut guard = Guard::new(db, cfg);
+
+    let matched_cves = |guard: &Guard, dna: &jitbull::Dna| -> Vec<String> {
+        let entries = guard.db().entries();
+        let mut cves: Vec<String> = entries
+            .iter()
+            .filter(|e| !jitbull::compare::reference(dna, &e.dna, guard.config()).is_empty())
+            .map(|e| e.cve.clone())
+            .collect();
+        cves.dedup();
+        cves
+    };
+    // Before the patch: the 9810 DNA matches its own entry.
+    assert!(matched_cves(&guard, &query).contains(&"CVE-2019-9810".to_string()));
+
+    // One *persistent* index across the whole lifecycle — the same
+    // object the guard keeps internally — so a stale cached verdict
+    // would actually be observable.
+    let mut index = jitbull::ComparatorIndex::new(jitbull::IndexConfig::default());
+    let query_hits = |guard: &Guard, index: &mut jitbull::ComparatorIndex| -> bool {
+        index.ensure(guard.db());
+        let entries = guard.db().entries();
+        let (hits, _) = index.query(&query, guard.config());
+        hits.iter().any(|(i, _)| entries[*i].cve == "CVE-2019-9810")
+    };
+    // Query twice so the verdict is definitely cached.
+    assert!(query_hits(&guard, &mut index));
+    assert!(query_hits(&guard, &mut index));
+    assert_eq!(index.stats().cache_hits, 1);
+
+    // Patch lands: remove the CVE. The next query must not resurrect it.
+    let g_before = guard.db().generation();
+    assert!(guard.db_mut().remove_cve("CVE-2019-9810") > 0);
+    assert!(guard.db().generation() > g_before, "generation must move");
+    assert!(!query_hits(&guard, &mut index));
+
+    // Re-install the same entries: the cache must pick the entry back up.
+    for e in &entry_9810 {
+        guard
+            .db_mut()
+            .install(e.cve.clone(), e.function.clone(), e.dna.clone());
+    }
+    assert!(query_hits(&guard, &mut index));
+}
+
+/// Database generations are strictly monotonic across a lifecycle and
+/// only move on actual content changes.
+#[test]
+fn database_generation_is_monotonic_over_the_lifecycle() {
+    let vdcs = [vdc(CveId::Cve2019_9810), vdc(CveId::Cve2019_9813)];
+    let full = build_database(&vdcs).unwrap();
+    let mut db = DnaDatabase::new();
+    let mut seen = vec![db.generation()];
+    for e in full.entries() {
+        db.install(e.cve.clone(), e.function.clone(), e.dna.clone());
+        seen.push(db.generation());
+    }
+    assert_eq!(db.remove_cve("CVE-not-installed"), 0);
+    assert_eq!(
+        db.generation(),
+        *seen.last().unwrap(),
+        "no-op removal must not bump the generation"
+    );
+    assert!(db.remove_cve("CVE-2019-9810") > 0);
+    seen.push(db.generation());
+    assert!(db.remove_cve("CVE-2019-9813") > 0);
+    seen.push(db.generation());
+    for pair in seen.windows(2) {
+        assert!(pair[0] < pair[1], "generations not monotonic: {seen:?}");
+    }
+    // Round-tripping through the wire format yields a *fresh* database
+    // state with its own generation — never one that could collide with a
+    // cached verdict from the original.
+    let text = full.to_text();
+    let back = DnaDatabase::from_text(&text, N_SLOTS).unwrap();
+    assert_eq!(back, full);
+    assert_ne!(back.generation(), full.generation());
+}
+
 #[test]
 fn multiple_windows_protect_simultaneously() {
     // Both 9810 and 9813 are open (the paper's 2019 overlap); one DB

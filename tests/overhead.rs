@@ -1,7 +1,9 @@
 //! Figure-5/6 reproduction bounds: JITBULL's overhead properties.
 
-use jitbull_bench::figures::{db_with, fig5, fig6};
-use jitbull_workloads::octane_analogues;
+use jitbull::ComparatorMode;
+use jitbull_bench::figures::{db_with, fig5, fig6, fig6_comparator};
+use jitbull_jit::engine::EngineConfig;
+use jitbull_workloads::{octane_analogues, run_workload};
 
 #[test]
 fn fig5_overhead_shapes_match_paper() {
@@ -74,4 +76,60 @@ fn db_construction_is_deterministic() {
     let (a, _) = db_with(4);
     let (b, _) = db_with(4);
     assert_eq!(a, b);
+}
+
+/// The indexed comparator must beat the naive reference loop once the
+/// database is non-trivial (acceptance: DB >= 8 entries), while producing
+/// the exact same verdicts and program output.
+#[test]
+fn indexed_comparator_beats_reference_at_db8() {
+    let (db, vulns) = db_with(8);
+    for w in &octane_analogues() {
+        let run = |mode: ComparatorMode| {
+            run_workload(
+                w,
+                EngineConfig {
+                    vulns: vulns.clone(),
+                    comparator: mode,
+                    ..Default::default()
+                },
+                Some(db.clone()),
+            )
+            .expect("workload runs")
+        };
+        let reference = run(ComparatorMode::Reference);
+        let indexed = run(ComparatorMode::Indexed);
+        // Same verdict mix and same execution, cheaper analysis.
+        assert_eq!(reference.nr_jit, indexed.nr_jit, "{}", w.name);
+        assert_eq!(reference.nr_disjit, indexed.nr_disjit, "{}", w.name);
+        assert_eq!(reference.nr_nojit, indexed.nr_nojit, "{}", w.name);
+        assert_eq!(reference.ops, indexed.ops, "{}", w.name);
+        assert!(
+            indexed.analysis_cycles < reference.analysis_cycles,
+            "{}: indexed {} >= reference {} analysis cycles",
+            w.name,
+            indexed.analysis_cycles,
+            reference.analysis_cycles
+        );
+    }
+}
+
+/// Release-profile smoke run of the full Figure-6 comparator sweep (the
+/// CI `--ignored` job): indexed must win at every workload for DB >= 8.
+#[test]
+#[ignore = "slow: full fig6 comparator sweep, run via cargo test --release -- --ignored"]
+fn fig6_comparator_sweep_smoke() {
+    let sizes = [1usize, 2, 4, 8];
+    let rows = fig6_comparator(&octane_analogues(), &sizes);
+    assert!(!rows.is_empty());
+    for r in &rows {
+        let (reference, indexed) = r.cycles[sizes.len() - 1];
+        assert!(
+            indexed < reference,
+            "{}: indexed {indexed} >= reference {reference} at #8",
+            r.name
+        );
+        // Speedup grows (or at least does not regress badly) with DB size.
+        assert!(r.speedup(sizes.len() - 1) > 1.0, "{}", r.name);
+    }
 }
