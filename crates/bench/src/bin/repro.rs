@@ -22,6 +22,7 @@ fn main() {
         "ablation-policy" => ablation_policy(),
         "fuzz" => fuzz(),
         "obs" => observability(),
+        "serve" => serve(),
         "all" => {
             table1();
             window();
@@ -33,10 +34,11 @@ fn main() {
             ablation_policy();
             fuzz();
             observability();
+            serve();
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [table1|window|security|fig4|fig5|fig6|ablation|ablation-policy|fuzz|obs|all]");
+            eprintln!("usage: repro [table1|window|security|fig4|fig5|fig6|ablation|ablation-policy|fuzz|obs|serve|all]");
             std::process::exit(2);
         }
     }
@@ -173,6 +175,146 @@ fn observability() {
             w.name,
             reference as f64 / indexed.max(1) as f64
         );
+    }
+}
+
+fn serve() {
+    heading("Serving layer — jitbull-pool under load with a mid-traffic VDC hot-swap");
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    use jitbull::{CompareConfig, DnaDatabase};
+    use jitbull_jit::engine::EngineConfig;
+    use jitbull_jit::pipeline::N_SLOTS;
+    use jitbull_jit::CveId;
+    use jitbull_pool::{Pool, PoolConfig, Request, SharedCollector};
+    use jitbull_telemetry::Recorder;
+    use jitbull_vdc::{build_database, vdc};
+
+    // Injected worker panics are part of the demonstration; keep their
+    // backtraces out of the report.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let recorder = Arc::new(Mutex::new(Recorder::new()));
+    let collector: SharedCollector = Arc::clone(&recorder) as SharedCollector;
+    let pool = Pool::with_collector(
+        PoolConfig {
+            workers: 4,
+            capacity: 8,
+            // Permissive thresholds (the repo's test convention) so the
+            // honest ServeArray false positive flips verdict after the swap.
+            compare: CompareConfig { thr: 1, ratio: 0.5 },
+        },
+        DnaDatabase::new(),
+        collector,
+    );
+    let mix = jitbull_workloads::serving_mix();
+    let request = |name: &str| {
+        let w = mix.iter().find(|w| w.name == name).expect("mix workload");
+        Request::new(w.source.clone()).with_config(EngineConfig::fast_test())
+    };
+
+    // Phase 1 — empty database: zero-overhead serving, no matches.
+    let before: Vec<_> = (0..8)
+        .filter_map(|i| pool.submit(request(mix[i % mix.len()].name)).ok())
+        .collect();
+    let mut pre_matches = 0usize;
+    for t in before {
+        if let Ok(r) = t.wait() {
+            pre_matches += r.matched_cves.len();
+        }
+    }
+    println!("phase 1 (no VDC DNA): {pre_matches} matches across 8 requests");
+
+    // Hot-swap: CVE-2019-17026's window opens mid-traffic. The update
+    // travels in the maintainer wire format, exercising the typed-error
+    // reload path.
+    let update = build_database(&[vdc(CveId::Cve2019_17026)])
+        .expect("vdc database builds")
+        .to_text();
+    let swap_epoch = pool
+        .reload_from_text(&update, N_SLOTS)
+        .expect("well-formed update");
+    println!("hot-swap published at epoch {swap_epoch} (database was empty at epoch 1)");
+
+    // Phase 2 — every post-swap ServeArray response must reflect the new
+    // database: epoch >= swap epoch and the honest false positive flagged.
+    let after: Vec<_> = (0..8)
+        .filter_map(|_| pool.submit(request("ServeArray")).ok())
+        .collect();
+    let (mut post, mut flagged, mut stale) = (0usize, 0usize, 0usize);
+    for t in after {
+        if let Ok(r) = t.wait() {
+            post += 1;
+            if r.matched_cves.iter().any(|c| c == "CVE-2019-17026") {
+                flagged += 1;
+            }
+            if r.db_epoch < swap_epoch {
+                stale += 1;
+            }
+        }
+    }
+    println!(
+        "phase 2 (post-swap ServeArray): {flagged}/{post} flagged CVE-2019-17026, {stale} served from a stale snapshot"
+    );
+
+    // Phase 3 — degradation ladder: an overload burst (queue capacity 8),
+    // zero-deadline requests that fall back to the interpreter, and two
+    // injected worker panics.
+    let burst: Vec<_> = (0..32)
+        .map(|i| pool.submit(request(mix[i % mix.len()].name)))
+        .filter_map(Result::ok)
+        .collect();
+    for t in burst {
+        let _ = t.wait();
+    }
+    let late: Vec<_> = (0..4)
+        .filter_map(|_| {
+            pool.submit(request("ServeArith").with_deadline(Duration::ZERO))
+                .ok()
+        })
+        .collect();
+    for t in late {
+        let _ = t.wait();
+    }
+    for _ in 0..2 {
+        if let Ok(t) = pool.submit(Request::new("print(0);").with_chaos_panic()) {
+            let _ = t.wait();
+        }
+    }
+    // One post-panic request proves the pool still serves.
+    let alive = pool
+        .submit(request("ServeArith"))
+        .ok()
+        .and_then(|t| t.wait().ok())
+        .is_some();
+
+    let stats = pool.shutdown();
+    println!("\npool counters:");
+    println!("  submitted        : {}", stats.submitted);
+    println!("  rejected (overload): {}", stats.rejected);
+    println!("  served           : {}", stats.served);
+    println!("  degraded (no-JIT fallback): {}", stats.degraded);
+    println!("  worker restarts  : {}", stats.worker_restarts);
+    println!("  hot-swaps        : {}", stats.hotswaps);
+    println!(
+        "  busy cycles/worker: {:?} (balance {:.2}x of {} workers)",
+        stats.worker_cycles,
+        stats.cycle_speedup(),
+        stats.worker_cycles.len()
+    );
+    println!(
+        "  serving after panics: {}",
+        if alive { "yes" } else { "NO" }
+    );
+
+    let rec = recorder.lock().unwrap();
+    println!("\ntelemetry (pool.* metrics):");
+    for line in jitbull_telemetry::export_text(&rec)
+        .lines()
+        .filter(|l| l.contains("pool."))
+    {
+        println!("{line}");
     }
 }
 

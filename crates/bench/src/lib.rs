@@ -23,6 +23,7 @@
 pub mod ablation;
 pub mod figures;
 pub mod obs;
+pub mod pool_bench;
 pub mod registry;
 pub mod security;
 pub mod timing;

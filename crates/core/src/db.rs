@@ -9,6 +9,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::dna::Dna;
+use crate::error::DbError;
 
 /// Process-wide generation source. Every observable content change of
 /// any [`DnaDatabase`] draws a fresh value, so two *different* database
@@ -100,6 +101,32 @@ impl DnaDatabase {
         removed
     }
 
+    /// Unconditionally draws a fresh generation, marking the content as
+    /// potentially changed.
+    ///
+    /// [`crate::Guard::db_mut`] calls this when its borrow ends: any code
+    /// path that *could* have mutated the database through a mutable
+    /// borrow invalidates downstream verdict caches, whether or not it
+    /// went through [`DnaDatabase::install`] / [`DnaDatabase::remove_cve`].
+    /// Conservative (a read-only mutable borrow also invalidates), but it
+    /// makes a stale cached verdict impossible by construction.
+    pub fn touch(&mut self) {
+        self.generation = next_generation();
+    }
+
+    /// An immutable, shareable snapshot of the current database state.
+    ///
+    /// The snapshot keeps this database's generation, so a comparator
+    /// index built against either is valid for both — they hold the same
+    /// content. Chains inside entries are `Arc<str>`-backed, so the clone
+    /// shares label storage; the per-entry structure is copied. Snapshots
+    /// are `Send + Sync`: this is the hand-off type the serving pool
+    /// publishes to worker threads on a VDC hot-swap.
+    #[must_use]
+    pub fn snapshot(&self) -> std::sync::Arc<DnaDatabase> {
+        std::sync::Arc::new(self.clone())
+    }
+
     /// All entries.
     pub fn entries(&self) -> &[VdcEntry] {
         &self.entries
@@ -138,34 +165,41 @@ impl DnaDatabase {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
-    pub fn from_text(text: &str, n_slots: usize) -> Result<Self, String> {
+    /// Returns a [`DbError::Parse`] for the first malformed line. Entry
+    /// bodies are parsed by [`Dna::from_text`], whose line numbers count
+    /// from the start of that body.
+    pub fn from_text(text: &str, n_slots: usize) -> Result<Self, DbError> {
         let mut db = DnaDatabase::new();
         let mut current: Option<(String, String, String)> = None;
         let flush = |db: &mut DnaDatabase,
                      cur: &mut Option<(String, String, String)>|
-         -> Result<(), String> {
+         -> Result<(), DbError> {
             if let Some((cve, function, body)) = cur.take() {
                 let dna = Dna::from_text(&body, n_slots)?;
                 db.entries.push(VdcEntry { cve, function, dna });
             }
             Ok(())
         };
-        for line in text.lines() {
+        for (ln, line) in text.lines().enumerate() {
             if let Some(rest) = line.strip_prefix("@entry ") {
                 flush(&mut db, &mut current)?;
                 let mut parts = rest.splitn(2, ' ');
                 let cve = parts.next().unwrap_or_default().to_owned();
                 let function = parts
                     .next()
-                    .ok_or_else(|| format!("malformed @entry line: {line}"))?
+                    .ok_or_else(|| {
+                        DbError::parse(ln + 1, format!("malformed @entry line: {line}"))
+                    })?
                     .to_owned();
                 current = Some((cve, function, String::new()));
             } else if let Some((_, _, body)) = &mut current {
                 body.push_str(line);
                 body.push('\n');
             } else if !line.trim().is_empty() {
-                return Err(format!("content before first @entry: {line}"));
+                return Err(DbError::parse(
+                    ln + 1,
+                    format!("content before first @entry: {line}"),
+                ));
             }
         }
         flush(&mut db, &mut current)?;
@@ -187,11 +221,12 @@ impl DnaDatabase {
     ///
     /// # Errors
     ///
-    /// Returns I/O errors, or `InvalidData` for malformed content.
-    pub fn load_from(path: impl AsRef<std::path::Path>, n_slots: usize) -> std::io::Result<Self> {
+    /// Returns [`DbError::Io`] when the file cannot be read and
+    /// [`DbError::Parse`] when its content is malformed — the caller can
+    /// tell "retry the read" apart from "the update itself is corrupt".
+    pub fn load_from(path: impl AsRef<std::path::Path>, n_slots: usize) -> Result<Self, DbError> {
         let text = std::fs::read_to_string(path)?;
         DnaDatabase::from_text(&text, n_slots)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
 }
 
@@ -301,6 +336,34 @@ mod tests {
         std::fs::write(&path, "not a database").unwrap();
         assert!(DnaDatabase::load_from(&path, 8).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_shares_generation_and_content() {
+        let mut db = DnaDatabase::new();
+        db.install("CVE-1", "f", sample_dna());
+        let snap = db.snapshot();
+        assert_eq!(*snap, db);
+        assert_eq!(snap.generation(), db.generation());
+        // Mutating the original does not disturb the snapshot.
+        db.remove_cve("CVE-1");
+        assert_eq!(snap.len(), 1);
+        assert!(db.generation() > snap.generation());
+    }
+
+    /// The database (and everything inside it) must be shareable across
+    /// threads: the serving pool publishes `Arc<DnaDatabase>` snapshots
+    /// to worker threads, and a guard must be movable into a worker.
+    #[test]
+    fn dna_types_are_thread_safe() {
+        fn send_sync<T: Send + Sync>() {}
+        fn send<T: Send>() {}
+        send_sync::<DnaDatabase>();
+        send_sync::<VdcEntry>();
+        send_sync::<Dna>();
+        send_sync::<crate::Analysis>();
+        send_sync::<crate::CompareConfig>();
+        send::<crate::Guard>();
     }
 
     #[test]

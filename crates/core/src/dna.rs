@@ -7,11 +7,13 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::error::DbError;
 
 /// A dependency chain: opcode labels from a user instruction down through
 /// its operands (e.g. `["boundscheck", "initializedlength", "unbox:array"]`).
-pub type Chain = Vec<Rc<str>>;
+pub type Chain = Vec<Arc<str>>;
 
 /// The modifications one optimization pass made: removed (`δ^-`) and added
 /// (`δ^+`) sub-chains.
@@ -122,8 +124,8 @@ impl Dna {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
-    pub fn from_text(text: &str, n_slots: usize) -> Result<Self, String> {
+    /// Returns a [`DbError::Parse`] pinned to the first malformed line.
+    pub fn from_text(text: &str, n_slots: usize) -> Result<Self, DbError> {
         let mut dna = Dna::with_slots(n_slots);
         for (ln, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -133,19 +135,19 @@ impl Dna {
             let mut parts = line.splitn(3, ' ');
             let slot: usize = parts
                 .next()
-                .ok_or_else(|| format!("line {}: missing slot", ln + 1))?
+                .ok_or_else(|| DbError::parse(ln + 1, "missing slot"))?
                 .parse()
-                .map_err(|_| format!("line {}: bad slot index", ln + 1))?;
+                .map_err(|_| DbError::parse(ln + 1, "bad slot index"))?;
             if slot >= n_slots {
-                return Err(format!("line {}: slot {slot} out of range", ln + 1));
+                return Err(DbError::parse(ln + 1, format!("slot {slot} out of range")));
             }
             let sign = parts
                 .next()
-                .ok_or_else(|| format!("line {}: missing sign", ln + 1))?;
+                .ok_or_else(|| DbError::parse(ln + 1, "missing sign"))?;
             let chain_text = parts
                 .next()
-                .ok_or_else(|| format!("line {}: missing chain", ln + 1))?;
-            let chain: Chain = chain_text.split('>').map(Rc::from).collect();
+                .ok_or_else(|| DbError::parse(ln + 1, "missing chain"))?;
+            let chain: Chain = chain_text.split('>').map(Arc::from).collect();
             match sign {
                 "-" => {
                     dna.deltas[slot].removed.insert(chain);
@@ -153,7 +155,7 @@ impl Dna {
                 "+" => {
                     dna.deltas[slot].added.insert(chain);
                 }
-                other => return Err(format!("line {}: bad sign `{other}`", ln + 1)),
+                other => return Err(DbError::parse(ln + 1, format!("bad sign `{other}`"))),
             }
         }
         Ok(dna)
@@ -174,7 +176,7 @@ impl fmt::Display for Dna {
 
 /// Builds a chain from `&str` labels (test/bench convenience).
 pub fn chain(labels: &[&str]) -> Chain {
-    labels.iter().map(|l| Rc::from(*l)).collect()
+    labels.iter().map(|l| Arc::from(*l)).collect()
 }
 
 #[cfg(test)]

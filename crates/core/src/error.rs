@@ -1,0 +1,105 @@
+//! Typed database errors.
+//!
+//! The maintainer-update pipeline has two failure domains: the wire
+//! format can be malformed (a parse error, pinned to a line) and the
+//! file it travels in can be unreadable (an I/O error). Before this type
+//! existed, [`crate::DnaDatabase::from_text`] reported the former as a
+//! bare `String` and [`crate::DnaDatabase::load_from`] squeezed it into
+//! `io::ErrorKind::InvalidData` — which meant a serving pool reloading a
+//! VDC feed mid-traffic could not tell "retry the read" apart from "the
+//! vendor shipped a corrupt update" without string matching. [`DbError`]
+//! carries the distinction, and [`DbError::kind`] gives telemetry a
+//! stable label to count reload failures under.
+
+use std::fmt;
+
+/// Why a DNA database (or a single DNA vector) failed to load.
+#[derive(Debug)]
+pub enum DbError {
+    /// The underlying file could not be read.
+    Io(std::io::Error),
+    /// The update text is malformed. `line` is 1-based within the text
+    /// that was being parsed (an entry body's lines count from the start
+    /// of that body).
+    Parse {
+        /// 1-based line number the parser stopped at (0 when unknown).
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+}
+
+impl DbError {
+    /// Builds a parse error pinned to a 1-based line.
+    #[must_use]
+    pub fn parse(line: usize, msg: impl Into<String>) -> Self {
+        DbError::Parse {
+            line,
+            msg: msg.into(),
+        }
+    }
+
+    /// Stable lower-case label for metrics (`"io"` / `"parse"`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DbError::Io(_) => "io",
+            DbError::Parse { .. } => "parse",
+        }
+    }
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "database i/o error: {e}"),
+            DbError::Parse { line: 0, msg } => write!(f, "database parse error: {msg}"),
+            DbError::Parse { line, msg } => {
+                write!(f, "database parse error at line {line}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Io(e) => Some(e),
+            DbError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        let io = DbError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert_eq!(io.kind(), "io");
+        assert!(io.to_string().contains("gone"));
+        let parse = DbError::parse(3, "bad sign");
+        assert_eq!(parse.kind(), "parse");
+        assert_eq!(
+            parse.to_string(),
+            "database parse error at line 3: bad sign"
+        );
+        let unpinned = DbError::parse(0, "content before first @entry");
+        assert!(!unpinned.to_string().contains("line"));
+    }
+
+    #[test]
+    fn io_errors_keep_their_source() {
+        use std::error::Error as _;
+        let io = DbError::from(std::io::Error::other("x"));
+        assert!(io.source().is_some());
+        assert!(DbError::parse(1, "y").source().is_none());
+    }
+}

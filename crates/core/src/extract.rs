@@ -23,7 +23,7 @@
 //! above what the evaluation workloads produce.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use jitbull_mir::{MirSnapshot, PassTrace};
 
@@ -37,7 +37,7 @@ pub const MAX_CHAIN_LEN: usize = 48;
 /// A dependency graph over one snapshot.
 struct DepGraph {
     /// node id -> label
-    labels: HashMap<u32, Rc<str>>,
+    labels: HashMap<u32, Arc<str>>,
     /// node id -> dependencies (operands)
     deps: HashMap<u32, Vec<u32>>,
     /// ids that are not a dependency of anyone
@@ -45,7 +45,7 @@ struct DepGraph {
 }
 
 fn build_graph(ir: &MirSnapshot) -> DepGraph {
-    let mut labels: HashMap<u32, Rc<str>> = HashMap::new();
+    let mut labels: HashMap<u32, Arc<str>> = HashMap::new();
     let mut deps: HashMap<u32, Vec<u32>> = HashMap::new();
     let mut is_dep: HashSet<u32> = HashSet::new();
     let mut in_graph: HashSet<u32> = HashSet::new();
@@ -81,7 +81,7 @@ fn build_graph(ir: &MirSnapshot) -> DepGraph {
 /// Enumerates root-to-leaf chains as (label sequence) paths, capped.
 fn make_chains(g: &DepGraph) -> Vec<Chain> {
     let mut chains = Vec::new();
-    let unknown: Rc<str> = Rc::from("?");
+    let unknown: Arc<str> = Arc::from("?");
     for &root in &g.roots {
         let mut path: Vec<u32> = vec![root];
         dfs(g, root, &mut path, &mut chains, &unknown);
@@ -92,7 +92,7 @@ fn make_chains(g: &DepGraph) -> Vec<Chain> {
     chains
 }
 
-fn dfs(g: &DepGraph, node: u32, path: &mut Vec<u32>, chains: &mut Vec<Chain>, unknown: &Rc<str>) {
+fn dfs(g: &DepGraph, node: u32, path: &mut Vec<u32>, chains: &mut Vec<Chain>, unknown: &Arc<str>) {
     if chains.len() >= MAX_CHAINS {
         return;
     }
@@ -122,12 +122,12 @@ fn dfs(g: &DepGraph, node: u32, path: &mut Vec<u32>, chains: &mut Vec<Chain>, un
 /// even when an identically-labeled edge survives elsewhere in the
 /// function — e.g. one of two `loadelement→boundscheck` accesses losing
 /// its check.
-fn edge_counts(ir: &MirSnapshot) -> HashMap<(Rc<str>, Rc<str>), usize> {
-    let mut labels: HashMap<u32, Rc<str>> = HashMap::new();
+fn edge_counts(ir: &MirSnapshot) -> HashMap<(Arc<str>, Arc<str>), usize> {
+    let mut labels: HashMap<u32, Arc<str>> = HashMap::new();
     for i in &ir.instrs {
         labels.insert(i.id, i.label.clone());
     }
-    let unknown: Rc<str> = Rc::from("?");
+    let unknown: Arc<str> = Arc::from("?");
     let mut counts = HashMap::new();
     for i in &ir.instrs {
         for o in &i.operands {
@@ -141,9 +141,9 @@ fn edge_counts(ir: &MirSnapshot) -> HashMap<(Rc<str>, Rc<str>), usize> {
 
 /// Edges whose multiplicity strictly dropped from `from` to `to`.
 fn changed_edges(
-    from: &HashMap<(Rc<str>, Rc<str>), usize>,
-    to: &HashMap<(Rc<str>, Rc<str>), usize>,
-) -> HashSet<(Rc<str>, Rc<str>)> {
+    from: &HashMap<(Arc<str>, Arc<str>), usize>,
+    to: &HashMap<(Arc<str>, Arc<str>), usize>,
+) -> HashSet<(Arc<str>, Arc<str>)> {
     from.iter()
         .filter(|(k, n)| to.get(*k).copied().unwrap_or(0) < **n)
         .map(|(k, _)| k.clone())
@@ -154,10 +154,10 @@ fn changed_edges(
 /// `other_edges`, as label sub-chains.
 fn diff_subchains(
     chains: &[Chain],
-    changed: &HashSet<(Rc<str>, Rc<str>)>,
+    changed: &HashSet<(Arc<str>, Arc<str>)>,
 ) -> std::collections::BTreeSet<Chain> {
     let mut out = std::collections::BTreeSet::new();
-    let mut emit = |run: &[Rc<str>]| {
+    let mut emit = |run: &[Arc<str>]| {
         // Every contiguous window of the changed run is a sub-chain; the
         // maximal run itself is the longest of them. Counting all windows
         // gives the comparator the granularity the paper's Thr=3 assumes
@@ -169,7 +169,7 @@ fn diff_subchains(
         }
     };
     for c in chains {
-        let mut run: Vec<Rc<str>> = Vec::new();
+        let mut run: Vec<Arc<str>> = Vec::new();
         for w in c.windows(2) {
             let edge = (w[0].clone(), w[1].clone());
             if !changed.contains(&edge) {
@@ -245,7 +245,7 @@ mod tests {
     fn instr(id: u32, label: &str, operands: &[u32]) -> SnapInstr {
         SnapInstr {
             id,
-            label: Rc::from(label),
+            label: Arc::from(label),
             operands: operands.to_vec(),
         }
     }

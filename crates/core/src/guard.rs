@@ -117,8 +117,18 @@ impl Guard {
     }
 
     /// Mutable database access (install on disclosure, remove on patch).
-    pub fn db_mut(&mut self) -> &mut DnaDatabase {
-        &mut self.db
+    ///
+    /// The returned guard unconditionally bumps the database generation
+    /// when it drops ([`DnaDatabase::touch`]). `install` / `remove_cve`
+    /// already bump on content change, but a raw `&mut DnaDatabase` also
+    /// allows mutations that bypass them (`*guard.db_mut() = other`,
+    /// `std::mem::take`, …) — without the drop bump those would leave the
+    /// comparator's verdict cache keyed to a generation whose content no
+    /// longer exists, silently serving stale verdicts. The bump-on-drop
+    /// makes that unrepresentable at the cost of over-invalidating when
+    /// the borrow turns out not to mutate.
+    pub fn db_mut(&mut self) -> DbMut<'_> {
+        DbMut { db: &mut self.db }
     }
 
     /// The comparator configuration.
@@ -255,16 +265,44 @@ impl Guard {
     }
 }
 
+/// Mutable borrow of a [`Guard`]'s database that invalidates verdict
+/// caches on drop. Returned by [`Guard::db_mut`]; dereferences to
+/// [`DnaDatabase`], so existing `guard.db_mut().install(..)` call sites
+/// compile unchanged.
+#[derive(Debug)]
+pub struct DbMut<'a> {
+    db: &'a mut DnaDatabase,
+}
+
+impl std::ops::Deref for DbMut<'_> {
+    type Target = DnaDatabase;
+    fn deref(&self) -> &DnaDatabase {
+        self.db
+    }
+}
+
+impl std::ops::DerefMut for DbMut<'_> {
+    fn deref_mut(&mut self) -> &mut DnaDatabase {
+        self.db
+    }
+}
+
+impl Drop for DbMut<'_> {
+    fn drop(&mut self) {
+        self.db.touch();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use jitbull_mir::{MirSnapshot, PassRecord, SnapInstr};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn instr(id: u32, label: &str, operands: &[u32]) -> SnapInstr {
         SnapInstr {
             id,
-            label: Rc::from(label),
+            label: Arc::from(label),
             operands: operands.to_vec(),
         }
     }

@@ -28,8 +28,8 @@
 //!    splits database entries across worker threads once the scan's
 //!    `entries × slots` work estimate exceeds
 //!    [`IndexConfig::parallel_threshold`]. Only the interned (`u32`/`u64`)
-//!    representation crosses threads — `Chain`'s `Rc<str>` labels never
-//!    do — which is why the interner stays on the query thread.
+//!    representation crosses the shard boundary — the interner itself
+//!    stays on the query thread, so shards race over plain integers.
 //!
 //! The simulated-cycle cost model mirrors the work actually done (hash,
 //! intern, prefilter, merge), so `repro` figures built on
@@ -38,7 +38,7 @@
 //! receipt charges total work, wherever it ran.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::compare::CompareConfig;
 use crate::db::DnaDatabase;
@@ -349,7 +349,7 @@ pub struct ComparatorIndex {
     generation: u64,
     /// structural hash → (query DNA, verdicts) buckets. Equality on the
     /// stored DNA guards against hash collisions.
-    cache: HashMap<u64, Vec<(Dna, Rc<EntryMatches>)>>,
+    cache: HashMap<u64, Vec<(Dna, Arc<EntryMatches>)>>,
     cached: usize,
     stats: IndexStats,
     config: IndexConfig,
@@ -425,7 +425,11 @@ impl ComparatorIndex {
     /// non-matching entries omitted) plus a [`QueryReceipt`] describing
     /// the work done. Decision-identical to running
     /// [`crate::compare::reference`] against each entry.
-    pub fn query(&mut self, dna: &Dna, config: &CompareConfig) -> (Rc<EntryMatches>, QueryReceipt) {
+    pub fn query(
+        &mut self,
+        dna: &Dna,
+        config: &CompareConfig,
+    ) -> (Arc<EntryMatches>, QueryReceipt) {
         self.stats.queries += 1;
         let f_chains: u64 = dna
             .deltas
@@ -444,7 +448,7 @@ impl ComparatorIndex {
                     receipt.cache_hit = true;
                     receipt.cost_cycles += CACHE_HIT_COST;
                     self.stats.cache_hits += 1;
-                    return (Rc::clone(result), receipt);
+                    return (Arc::clone(result), receipt);
                 }
             }
         }
@@ -471,7 +475,7 @@ impl ComparatorIndex {
         self.stats.prefilter_rejects += counters.prefilter_rejects;
         self.stats.set_merges += counters.set_merges;
 
-        let result = Rc::new(matches);
+        let result = Arc::new(matches);
         if caching {
             if self.cached >= self.config.max_cache_entries {
                 self.cache.clear();
@@ -480,7 +484,7 @@ impl ComparatorIndex {
             self.cache
                 .entry(hash)
                 .or_default()
-                .push((dna.clone(), Rc::clone(&result)));
+                .push((dna.clone(), Arc::clone(&result)));
             self.cached += 1;
         }
         (result, receipt)

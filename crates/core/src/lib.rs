@@ -43,6 +43,7 @@
 pub mod compare;
 pub mod db;
 pub mod dna;
+pub mod error;
 pub mod extract;
 pub mod guard;
 pub mod index;
@@ -51,7 +52,8 @@ pub mod policy;
 pub use compare::{compare_chains, CompareConfig};
 pub use db::{DnaDatabase, VdcEntry};
 pub use dna::{Chain, Dna, PassDelta};
+pub use error::DbError;
 pub use extract::{extract_delta, extract_dna};
-pub use guard::{Analysis, ComparatorMode, Guard};
+pub use guard::{Analysis, ComparatorMode, DbMut, Guard};
 pub use index::{ChainInterner, ComparatorIndex, IndexConfig, IndexStats, QueryReceipt};
 pub use policy::{decide, decide_observed, Decision};

@@ -3,7 +3,7 @@
 //! cases, failures reproduce by seed).
 
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use jitbull::compare::{compare_chains, CompareConfig};
 use jitbull::extract::extract_delta;
@@ -35,7 +35,7 @@ fn snapshot(rng: &mut Rng) -> MirSnapshot {
     let instrs = (0..n)
         .map(|id| SnapInstr {
             id: id as u32,
-            label: Rc::from(*rng.pick(LABELS)),
+            label: Arc::from(*rng.pick(LABELS)),
             operands: if id == 0 {
                 vec![]
             } else {
@@ -53,7 +53,7 @@ fn chain_set(rng: &mut Rng) -> BTreeSet<Chain> {
     (0..n)
         .map(|_| {
             (0..rng.gen_range(2..5usize))
-                .map(|_| Rc::from(*rng.pick(LABELS)))
+                .map(|_| Arc::from(*rng.pick(LABELS)))
                 .collect::<Chain>()
         })
         .collect()
@@ -132,7 +132,7 @@ fn disjoint_sets_never_match() {
             .iter()
             .map(|c| {
                 let mut c = c.clone();
-                c.push(Rc::from("sentinel-tail"));
+                c.push(Arc::from("sentinel-tail"));
                 c
             })
             .collect();

@@ -222,6 +222,14 @@ impl Engine {
         self.guard.as_mut()
     }
 
+    /// Consumes the engine, returning its guard (with the comparator
+    /// index and verdict cache it warmed up). The serving pool uses this
+    /// to carry a worker's warm guard into the replacement engine after a
+    /// database hot-swap instead of re-interning the world from scratch.
+    pub fn into_guard(self) -> Option<Guard> {
+        self.guard
+    }
+
     /// The engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config

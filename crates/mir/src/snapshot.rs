@@ -7,7 +7,7 @@
 //! of the optimization — exactly what lets the paper's system recognise a
 //! renamed/minified exploit variant.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::graph::MirFunction;
 
@@ -17,7 +17,7 @@ pub struct SnapInstr {
     /// The instruction's SSA id at snapshot time.
     pub id: u32,
     /// Opcode label (e.g. `boundscheck`, `compare:lt`, `constant:number`).
-    pub label: Rc<str>,
+    pub label: Arc<str>,
     /// Operand ids.
     pub operands: Vec<u32>,
 }
@@ -73,7 +73,7 @@ pub fn snapshot(f: &MirFunction) -> MirSnapshot {
         for i in b.iter_all() {
             instrs.push(SnapInstr {
                 id: i.id.0,
-                label: Rc::from(i.op.mnemonic().as_str()),
+                label: Arc::from(i.op.mnemonic().as_str()),
                 operands: i.operands.iter().map(|o| o.0).collect(),
             });
         }

@@ -1,0 +1,65 @@
+//! Typed pool failures. Every submitted request resolves to exactly one
+//! of: a [`crate::PoolResponse`], or one of these errors — there is no
+//! silent-drop path.
+
+use std::fmt;
+
+/// Why a request could not be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The queue was at capacity; the request was refused at submit time
+    /// (backpressure — the caller should shed or retry later).
+    Overload {
+        /// Queue depth at the moment of rejection.
+        depth: usize,
+    },
+    /// The pool is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The worker serving this request panicked. The request is lost but
+    /// the worker was respawned and the pool keeps serving.
+    Panicked,
+    /// The script itself failed to parse/compile/run.
+    Script(String),
+}
+
+impl PoolError {
+    /// Stable lower-case label for metrics and logs.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PoolError::Overload { .. } => "overload",
+            PoolError::ShuttingDown => "shutting_down",
+            PoolError::Panicked => "panicked",
+            PoolError::Script(_) => "script",
+        }
+    }
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PoolError::Overload { depth } => {
+                write!(f, "pool overloaded: queue at capacity ({depth} waiting)")
+            }
+            PoolError::ShuttingDown => write!(f, "pool is shutting down"),
+            PoolError::Panicked => write!(f, "worker panicked while serving the request"),
+            PoolError::Script(e) => write!(f, "script error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display_are_stable() {
+        assert_eq!(PoolError::Overload { depth: 7 }.kind(), "overload");
+        assert_eq!(PoolError::ShuttingDown.kind(), "shutting_down");
+        assert_eq!(PoolError::Panicked.kind(), "panicked");
+        assert_eq!(PoolError::Script("x".into()).kind(), "script");
+        assert!(PoolError::Overload { depth: 7 }.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,162 @@
+//! Worker threads: dequeue → refresh snapshot → (maybe degrade) →
+//! execute → respond. Panics are isolated per worker and recovered by an
+//! in-thread supervisor that rebuilds the worker's state from scratch.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+use jitbull::{CompareConfig, DnaDatabase, Guard};
+use jitbull_jit::engine::Engine;
+use jitbull_telemetry::Event;
+
+use crate::error::PoolError;
+use crate::pool::{Job, PoolResponse, SharedCollector, StatsInner};
+use crate::queue::BoundedQueue;
+use crate::swap::EpochCell;
+
+/// Everything a worker thread needs, cloned per worker at pool start.
+pub(crate) struct WorkerCtx {
+    pub(crate) index: usize,
+    pub(crate) queue: Arc<BoundedQueue<Job>>,
+    pub(crate) cell: Arc<EpochCell>,
+    pub(crate) stats: Arc<StatsInner>,
+    pub(crate) collector: Option<SharedCollector>,
+    pub(crate) compare: CompareConfig,
+}
+
+impl WorkerCtx {
+    fn record(&self, event: Event) {
+        if let Some(c) = &self.collector {
+            c.lock().unwrap_or_else(|e| e.into_inner()).record(event);
+        }
+    }
+}
+
+/// Per-worker mutable state: the snapshot the worker currently serves
+/// from and the warm guard (comparator index + verdict cache) built over
+/// it. Dropped wholesale when the epoch moves or the worker respawns.
+struct WorkerState {
+    epoch: u64,
+    db: Option<Arc<DnaDatabase>>,
+    guard: Option<Guard>,
+}
+
+/// The thread body: run [`worker_loop`] until the queue closes; if it
+/// panics, count a restart and run it again with fresh state. The panic
+/// unwinds through the in-flight [`Job`], whose responder delivers
+/// [`PoolError::Panicked`] on drop — the caller's ticket never hangs.
+pub(crate) fn supervise(ctx: WorkerCtx) {
+    loop {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(&ctx))) {
+            Ok(()) => return,
+            Err(_) => {
+                ctx.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                ctx.record(Event::PoolWorkerRestarted { worker: ctx.index });
+            }
+        }
+    }
+}
+
+fn worker_loop(ctx: &WorkerCtx) {
+    let mut state = WorkerState {
+        epoch: 0,
+        db: None,
+        guard: None,
+    };
+    while let Some(job) = ctx.queue.pop() {
+        serve(ctx, &mut state, job);
+    }
+}
+
+fn serve(ctx: &WorkerCtx, state: &mut WorkerState, job: Job) {
+    let Job {
+        request,
+        enqueued_at,
+        min_epoch,
+        responder,
+    } = job;
+
+    // Refresh the snapshot if a publisher moved the epoch. The lock-free
+    // check makes the steady state cheap; the reload drops the warm guard
+    // because its index and verdict cache belong to the old content.
+    if state.db.is_none() || ctx.cell.epoch() != state.epoch {
+        let (epoch, db) = ctx.cell.load();
+        state.epoch = epoch;
+        state.db = Some(db);
+        state.guard = None;
+    }
+    debug_assert!(state.epoch >= min_epoch, "epoch ran backwards");
+
+    let wait = enqueued_at.elapsed();
+    let degraded = request.deadline.is_some_and(|d| wait >= d);
+
+    if request.chaos_panic {
+        // Fault injection: unwind through the supervisor. `request` (and
+        // nothing else) is lost; the responder's drop reports it.
+        panic!("chaos_panic: injected worker fault");
+    }
+
+    let mut config = request.config;
+    if degraded {
+        // Graceful degradation — the paper's no-JIT scenario generalized
+        // to load shedding: a late request still gets a correct answer,
+        // just from the (cheap-to-enter) interpreter.
+        config.jit_enabled = false;
+    }
+
+    let db = Arc::clone(state.db.as_ref().expect("snapshot loaded"));
+    let guard = state
+        .guard
+        .take()
+        .unwrap_or_else(|| Guard::with_comparator((*db).clone(), ctx.compare, config.comparator));
+    let mut engine = Engine::with_guard(config, guard);
+    let started = Instant::now();
+    let result = engine.run_source_with(&request.source);
+    let run_micros = started.elapsed().as_micros() as u64;
+    // Keep the warm guard for the next request on this snapshot.
+    state.guard = engine.into_guard();
+
+    let wait_micros = wait.as_micros() as u64;
+    ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+    if degraded {
+        ctx.stats.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    ctx.record(Event::PoolServed {
+        worker: ctx.index,
+        degraded,
+        wait_micros,
+        run_micros,
+    });
+
+    match result {
+        Ok(out) => {
+            ctx.stats.worker_cycles[ctx.index].fetch_add(out.outcome.cycles, Ordering::Relaxed);
+            let mut matched_cves: Vec<String> = out
+                .stats
+                .iter()
+                .flat_map(|s| s.matched.iter().map(|(cve, _)| cve.clone()))
+                .collect();
+            matched_cves.sort();
+            matched_cves.dedup();
+            responder.send(Ok(PoolResponse {
+                worker: ctx.index,
+                db_epoch: state.epoch,
+                db_generation: db.generation(),
+                min_epoch,
+                degraded,
+                printed: out.outcome.printed,
+                cycles: out.outcome.cycles,
+                nr_jit: out.nr_jit,
+                nr_disjit: out.nr_disjit,
+                nr_nojit: out.nr_nojit,
+                analysis_cycles: out.analysis_cycles,
+                matched_cves,
+                wait_micros,
+                run_micros,
+            }));
+        }
+        Err(e) => responder.send(Err(PoolError::Script(e.to_string()))),
+    }
+}

@@ -138,6 +138,47 @@ pub enum Event {
         /// Benign script errors.
         script_errors: u64,
     },
+    /// A request entered the serving pool's queue.
+    PoolSubmitted {
+        /// Queue depth right after the enqueue (includes this request).
+        depth: u64,
+    },
+    /// The pool refused a request because the queue was at capacity.
+    PoolRejected {
+        /// Queue depth at the moment of rejection.
+        depth: u64,
+    },
+    /// A worker finished serving one request.
+    PoolServed {
+        /// Worker index that served it.
+        worker: usize,
+        /// Whether the request was past its deadline and fell back to
+        /// interpreter-only execution.
+        degraded: bool,
+        /// Microseconds the request waited in the queue.
+        wait_micros: u64,
+        /// Microseconds the worker spent executing it.
+        run_micros: u64,
+    },
+    /// A new database snapshot was published to the workers.
+    PoolHotSwap {
+        /// The epoch the snapshot was published under.
+        epoch: u64,
+        /// Entries in the new snapshot.
+        entries: u64,
+        /// The snapshot's database generation.
+        generation: u64,
+    },
+    /// A worker thread panicked while serving and was respawned.
+    PoolWorkerRestarted {
+        /// Worker index that was restarted.
+        worker: usize,
+    },
+    /// A database reload (e.g. `Pool::reload_from_text`) failed.
+    PoolReloadFailed {
+        /// Stable failure label (`DbError::kind`: `"io"` / `"parse"`).
+        kind: &'static str,
+    },
     /// One iteration of the fuzzer's install-until-neutralized triage loop.
     TriageRound {
         /// The find's seed.
@@ -165,6 +206,12 @@ impl Event {
             Event::ExploitOutcome { .. } => "exploit_outcome",
             Event::FuzzSeed { .. } => "fuzz_seed",
             Event::FuzzCampaignFinished { .. } => "fuzz_campaign_finished",
+            Event::PoolSubmitted { .. } => "pool_submitted",
+            Event::PoolRejected { .. } => "pool_rejected",
+            Event::PoolServed { .. } => "pool_served",
+            Event::PoolHotSwap { .. } => "pool_hotswap",
+            Event::PoolWorkerRestarted { .. } => "pool_worker_restarted",
+            Event::PoolReloadFailed { .. } => "pool_reload_failed",
             Event::TriageRound { .. } => "triage_round",
         }
     }

@@ -139,6 +139,25 @@ fn event_line(ev: &Event) -> String {
         } => format!(
             "fuzz_campaign    executed={executed} finds={finds} script_errors={script_errors}"
         ),
+        Event::PoolSubmitted { depth } => format!("pool_submitted   depth={depth}"),
+        Event::PoolRejected { depth } => format!("pool_rejected    depth={depth}"),
+        Event::PoolServed {
+            worker,
+            degraded,
+            wait_micros,
+            run_micros,
+        } => format!(
+            "pool_served      worker={worker} degraded={degraded} wait_us={wait_micros} run_us={run_micros}"
+        ),
+        Event::PoolHotSwap {
+            epoch,
+            entries,
+            generation,
+        } => format!("pool_hotswap     epoch={epoch} entries={entries} generation={generation}"),
+        Event::PoolWorkerRestarted { worker } => {
+            format!("pool_worker_restarted worker={worker}")
+        }
+        Event::PoolReloadFailed { kind } => format!("pool_reload_failed kind={kind}"),
         Event::TriageRound {
             seed,
             round,
@@ -261,6 +280,37 @@ fn push_event_json(out: &mut String, ev: &Event) {
                 out,
                 ",\"executed\":{executed},\"finds\":{finds},\"script_errors\":{script_errors}"
             );
+        }
+        Event::PoolSubmitted { depth } | Event::PoolRejected { depth } => {
+            let _ = write!(out, ",\"depth\":{depth}");
+        }
+        Event::PoolServed {
+            worker,
+            degraded,
+            wait_micros,
+            run_micros,
+        } => {
+            let _ = write!(
+                out,
+                ",\"worker\":{worker},\"degraded\":{degraded},\"wait_micros\":{wait_micros},\"run_micros\":{run_micros}"
+            );
+        }
+        Event::PoolHotSwap {
+            epoch,
+            entries,
+            generation,
+        } => {
+            let _ = write!(
+                out,
+                ",\"epoch\":{epoch},\"entries\":{entries},\"generation\":{generation}"
+            );
+        }
+        Event::PoolWorkerRestarted { worker } => {
+            let _ = write!(out, ",\"worker\":{worker}");
+        }
+        Event::PoolReloadFailed { kind } => {
+            out.push_str(",\"kind\":");
+            push_json_str(out, kind);
         }
         Event::TriageRound {
             seed,

@@ -234,6 +234,39 @@ impl Recorder {
             Event::FuzzCampaignFinished { .. } => {
                 self.metrics.counter_inc("fuzz.campaigns");
             }
+            Event::PoolSubmitted { depth } => {
+                self.metrics.counter_inc("pool.submitted");
+                self.metrics.gauge_set("pool.queue_depth", *depth as i64);
+            }
+            Event::PoolRejected { depth } => {
+                self.metrics.counter_inc("pool.rejected");
+                self.metrics.gauge_set("pool.queue_depth", *depth as i64);
+            }
+            Event::PoolServed {
+                degraded,
+                wait_micros,
+                run_micros,
+                ..
+            } => {
+                self.metrics.counter_inc("pool.served");
+                if *degraded {
+                    self.metrics.counter_inc("pool.degraded");
+                }
+                self.metrics.observe("pool.wait_us", *wait_micros);
+                self.metrics.observe("pool.service_us", *run_micros);
+            }
+            Event::PoolHotSwap { epoch, entries, .. } => {
+                self.metrics.counter_inc("pool.hotswaps");
+                self.metrics.gauge_set("pool.db_entries", *entries as i64);
+                self.metrics.gauge_set("pool.db_epoch", *epoch as i64);
+            }
+            Event::PoolWorkerRestarted { .. } => {
+                self.metrics.counter_inc("pool.worker_restarts");
+            }
+            Event::PoolReloadFailed { kind } => {
+                self.metrics
+                    .counter_inc(&format!("pool.reload_failed.{kind}"));
+            }
             Event::TriageRound { neutralized, .. } => {
                 self.metrics.counter_inc("triage.rounds");
                 if *neutralized {
@@ -297,6 +330,45 @@ mod tests {
         assert_eq!(slot.cycles, 50);
         assert_eq!(slot.instrs_removed, 4);
         assert_eq!(rec.events().len(), 5);
+    }
+
+    #[test]
+    fn pool_events_aggregate_into_pool_metrics() {
+        let mut rec = Recorder::new();
+        rec.record(Event::PoolSubmitted { depth: 3 });
+        rec.record(Event::PoolRejected { depth: 8 });
+        rec.record(Event::PoolServed {
+            worker: 1,
+            degraded: true,
+            wait_micros: 120,
+            run_micros: 900,
+        });
+        rec.record(Event::PoolServed {
+            worker: 0,
+            degraded: false,
+            wait_micros: 10,
+            run_micros: 400,
+        });
+        rec.record(Event::PoolHotSwap {
+            epoch: 2,
+            entries: 5,
+            generation: 42,
+        });
+        rec.record(Event::PoolWorkerRestarted { worker: 1 });
+        rec.record(Event::PoolReloadFailed { kind: "parse" });
+        let m = rec.metrics();
+        assert_eq!(m.counter("pool.submitted"), 1);
+        assert_eq!(m.counter("pool.rejected"), 1);
+        assert_eq!(m.counter("pool.served"), 2);
+        assert_eq!(m.counter("pool.degraded"), 1);
+        assert_eq!(m.counter("pool.hotswaps"), 1);
+        assert_eq!(m.counter("pool.worker_restarts"), 1);
+        assert_eq!(m.counter("pool.reload_failed.parse"), 1);
+        assert_eq!(m.gauge("pool.queue_depth"), Some(8));
+        assert_eq!(m.gauge("pool.db_entries"), Some(5));
+        assert_eq!(m.gauge("pool.db_epoch"), Some(2));
+        assert_eq!(m.histogram("pool.wait_us").unwrap().count(), 2);
+        assert_eq!(m.histogram("pool.service_us").unwrap().count(), 2);
     }
 
     #[test]

@@ -46,6 +46,104 @@ pub fn all_workloads() -> Vec<Workload> {
     v
 }
 
+/// Request-sized scripts for the serving pool (`jitbull-pool`): each is a
+/// few hundred invocations — long enough to cross the (fast-test) tier
+/// thresholds and exercise the guard, short enough that a pool serves
+/// thousands per second. `ServeArray` repeats Microbench2's array-length
+/// manipulation, so installing CVE-2019-17026's DNA mid-traffic flips its
+/// verdict — the hot-swap demo in `repro -- serve` relies on that.
+pub fn serving_mix() -> Vec<Workload> {
+    vec![
+        serve_arith(),
+        serve_array(),
+        serve_fields(),
+        serve_branchy(),
+    ]
+}
+
+fn serve_arith() -> Workload {
+    Workload {
+        name: "ServeArith",
+        source: r#"
+function sa(a, b) {
+  var t = 0;
+  for (var i = 0; i < 40; i++) { t = t + a * i - b; }
+  return t;
+}
+var r = 0;
+for (var k = 0; k < 60; k++) { r = sa(k, 3); }
+print(r);
+"#
+        .to_owned(),
+    }
+}
+
+fn serve_array() -> Workload {
+    Workload {
+        name: "ServeArray",
+        source: r#"
+// Microbench2's shape at request size: shrink-and-regrow next to checked
+// element writes — the IR pattern CVE-2019-17026's demonstrator has.
+function sv(arr, n) {
+  arr.length = 4;
+  arr.length = 12;
+  var t = 0;
+  for (var i = 0; i < arr.length; i++) {
+    arr[i] = n + i;
+    t = t + arr[i];
+  }
+  return t;
+}
+var a = new Array(12);
+var r = 0;
+for (var k = 0; k < 60; k++) { r = sv(a, k); }
+print(r);
+"#
+        .to_owned(),
+    }
+}
+
+fn serve_fields() -> Workload {
+    Workload {
+        name: "ServeFields",
+        source: r#"
+function Point(x, y) {
+  this.x = x;
+  this.y = y;
+}
+function dist2(p) {
+  return p.x * p.x + p.y * p.y;
+}
+var t = 0;
+for (var k = 0; k < 60; k++) {
+  var p = new Point(k, k + 1);
+  t = (t + dist2(p)) % 1000000007;
+}
+print(t);
+"#
+        .to_owned(),
+    }
+}
+
+fn serve_branchy() -> Workload {
+    Workload {
+        name: "ServeBranchy",
+        source: r#"
+function sb(n) {
+  var t = 0;
+  for (var i = 0; i < 50; i++) {
+    if ((i & 3) == 0) { t = t + n; } else { t = t - 1; }
+  }
+  return t;
+}
+var r = 0;
+for (var k = 0; k < 60; k++) { r = r + sb(k); }
+print(r);
+"#
+        .to_owned(),
+    }
+}
+
 fn microbench1() -> Workload {
     Workload {
         name: "Microbench1",
@@ -652,6 +750,20 @@ mod tests {
         for w in &all {
             parse_program(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
+    }
+
+    #[test]
+    fn serving_mix_parses_and_prints() {
+        let mix = serving_mix();
+        assert_eq!(mix.len(), 4);
+        for w in &mix {
+            parse_program(&w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(w.source.contains("print("), "{} must print", w.name);
+        }
+        let mut names: Vec<&str> = mix.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
     }
 
     #[test]

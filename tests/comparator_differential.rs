@@ -8,7 +8,7 @@
 //! near-threshold constructions, and fail on the first divergence.
 
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use jitbull::compare::{reference, CompareConfig};
 use jitbull::index::EntryMatches;
@@ -37,7 +37,7 @@ const SLOTS: usize = 8;
 
 fn random_chain(rng: &mut Rng) -> Chain {
     (0..rng.gen_range(1..5usize))
-        .map(|_| Rc::from(*rng.pick(LABELS)))
+        .map(|_| Arc::from(*rng.pick(LABELS)))
         .collect()
 }
 
@@ -225,7 +225,7 @@ fn boundary_sets(
     b_extra: usize,
 ) -> (BTreeSet<Chain>, BTreeSet<Chain>) {
     let mk = |tag: &str, i: usize| -> Chain {
-        vec![Rc::from(format!("{tag}{i}").as_str()), Rc::from("x")]
+        vec![Arc::from(format!("{tag}{i}").as_str()), Arc::from("x")]
     };
     let mut a: BTreeSet<Chain> = (0..shared).map(|i| mk("c", i)).collect();
     let mut b = a.clone();

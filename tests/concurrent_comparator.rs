@@ -1,0 +1,168 @@
+//! Multithreaded differential lockdown of the Δ comparator.
+//!
+//! Four reader threads each keep a *persistent* [`ComparatorIndex`] —
+//! interned labels, prefilter, verdict cache and all — while a publisher
+//! hot-swaps the shared database through an [`EpochCell`], exactly the
+//! shape `jitbull-pool` workers run in production. Every verdict from
+//! every thread must be byte-identical to the single-threaded normative
+//! comparator (`jitbull::compare::reference`) evaluated on the same
+//! snapshot. A stale verdict cache surviving a generation change, a torn
+//! epoch/snapshot pair, or any non-`Sync` sharing bug shows up here as a
+//! divergence.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use jitbull::compare::{reference, CompareConfig};
+use jitbull::index::EntryMatches;
+use jitbull::{Chain, ComparatorIndex, Dna, DnaDatabase, IndexConfig};
+use jitbull_pool::EpochCell;
+use jitbull_prng::Rng;
+
+const LABELS: &[&str] = &[
+    "add",
+    "mul",
+    "sub",
+    "constant:number",
+    "parameter0",
+    "loadelement",
+    "storeelement",
+    "boundscheck",
+    "unbox:array",
+    "phi",
+    "guardshape",
+];
+
+const SLOTS: usize = 8;
+const READERS: usize = 4;
+const PUBLISHES: u64 = 40;
+
+fn random_chain(rng: &mut Rng) -> Chain {
+    (0..rng.gen_range(1..5usize))
+        .map(|_| Arc::from(*rng.pick(LABELS)))
+        .collect()
+}
+
+fn random_set(rng: &mut Rng, max: usize) -> BTreeSet<Chain> {
+    (0..rng.gen_range(0..max))
+        .map(|_| random_chain(rng))
+        .collect()
+}
+
+fn random_dna(rng: &mut Rng) -> Dna {
+    let mut dna = Dna::with_slots(SLOTS);
+    for delta in &mut dna.deltas {
+        if rng.gen_bool(0.4) {
+            delta.removed = random_set(rng, 6);
+        }
+        if rng.gen_bool(0.4) {
+            delta.added = random_set(rng, 6);
+        }
+    }
+    dna
+}
+
+fn random_db(rng: &mut Rng, tag: u64) -> DnaDatabase {
+    let mut db = DnaDatabase::new();
+    for e in 0..rng.gen_range(1..6usize) {
+        db.install(format!("CVE-{tag}-{e}"), format!("f{e}"), random_dna(rng));
+    }
+    db
+}
+
+/// The oracle, evaluated on the identical snapshot the index saw.
+fn reference_matches(db: &DnaDatabase, query: &Dna, config: &CompareConfig) -> EntryMatches {
+    db.entries()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| {
+            let slots = reference(query, &e.dna, config);
+            (!slots.is_empty()).then_some((i, slots))
+        })
+        .collect()
+}
+
+/// 4 readers × persistent indexes × a publisher swapping 40 databases:
+/// zero divergences from the reference comparator, and every reader must
+/// actually observe multiple generations (i.e. the cache-invalidation
+/// path runs mid-flight, not just at startup).
+#[test]
+fn indexed_comparator_agrees_with_reference_across_threads_and_hot_swaps() {
+    let mut seed_rng = Rng::seed_from_u64(0xC0C0);
+    let cell = Arc::new(EpochCell::new(random_db(&mut seed_rng, 0).snapshot()));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let publisher = {
+        let cell = Arc::clone(&cell);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut rng = Rng::seed_from_u64(0x5EED_5EED);
+            for tag in 1..=PUBLISHES {
+                cell.publish(random_db(&mut rng, tag).snapshot());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            done.store(true, Ordering::Release);
+        })
+    };
+
+    let readers: Vec<_> = (0..READERS)
+        .map(|reader| {
+            let cell = Arc::clone(&cell);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut rng = Rng::seed_from_u64(0xBEEF + reader as u64);
+                // Persistent across hot-swaps — the production shape.
+                let mut index = ComparatorIndex::new(IndexConfig::default());
+                let mut generations = BTreeSet::new();
+                let mut checked = 0usize;
+                let mut last_epoch = 0;
+                loop {
+                    let finish = done.load(Ordering::Acquire);
+                    let (epoch, db) = cell.load();
+                    assert!(epoch >= last_epoch, "epoch went backwards");
+                    last_epoch = epoch;
+                    generations.insert(db.generation());
+                    index.ensure(&db);
+                    let config = CompareConfig {
+                        thr: rng.gen_range(0..4usize),
+                        ratio: rng.gen_range(0..101u32) as f64 / 100.0,
+                    };
+                    // A small pool so repeats hit the verdict cache; the
+                    // cache must still never outlive its generation.
+                    let pool: Vec<Dna> = (0..4).map(|_| random_dna(&mut rng)).collect();
+                    for _ in 0..12 {
+                        let query = if rng.gen_bool(0.5) {
+                            rng.pick(&pool).clone()
+                        } else {
+                            random_dna(&mut rng)
+                        };
+                        let expected = reference_matches(&db, &query, &config);
+                        let (got, _) = index.query(&query, &config);
+                        assert_eq!(
+                            *got, expected,
+                            "reader {reader} diverged at epoch {epoch} config {config:?}\nquery:\n{}",
+                            query.to_text()
+                        );
+                        checked += 1;
+                    }
+                    if finish {
+                        return (checked, generations.len());
+                    }
+                }
+            })
+        })
+        .collect();
+
+    publisher.join().unwrap();
+    let mut total = 0;
+    for r in readers {
+        let (checked, distinct_generations) = r.join().unwrap();
+        total += checked;
+        assert!(
+            distinct_generations > 1,
+            "reader never saw a hot-swap; the concurrent path went untested"
+        );
+    }
+    assert!(total >= 1_000, "only {total} cross-thread comparisons ran");
+}

@@ -126,6 +126,84 @@ fn comparator_cache_never_goes_stale_across_installs_and_removals() {
     assert!(query_hits(&guard, &mut index));
 }
 
+/// Closing the `db_mut` hazard: a mutation that *bypasses*
+/// `install`/`remove_cve` (wholesale replacement through the mutable
+/// borrow) must still invalidate cached verdicts. `Guard::db_mut` bumps
+/// the generation when its borrow drops, so the bypass is impossible.
+#[test]
+fn bypass_mutation_through_db_mut_cannot_leave_stale_verdicts() {
+    let vdcs = [vdc(CveId::Cve2019_9810)];
+    let db = build_database(&vdcs).unwrap();
+    let query = db
+        .entries()
+        .iter()
+        .find(|e| e.cve == "CVE-2019-9810")
+        .unwrap()
+        .dna
+        .clone();
+    let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+    let mut guard = Guard::new(db, cfg);
+
+    let mut index = jitbull::ComparatorIndex::new(jitbull::IndexConfig::default());
+    let query_hits = |guard: &Guard, index: &mut jitbull::ComparatorIndex| -> bool {
+        index.ensure(guard.db());
+        let (hits, _) = index.query(&query, guard.config());
+        !hits.is_empty()
+    };
+    // Cache the verdict.
+    assert!(query_hits(&guard, &mut index));
+    assert!(query_hits(&guard, &mut index));
+    assert_eq!(index.stats().cache_hits, 1);
+
+    // Bypass mutation: replace the whole database through the borrow,
+    // never calling install/remove_cve. A clone carries the *donor's*
+    // generation, so without the drop bump the index could keep serving
+    // the pre-replacement verdict.
+    let empty = DnaDatabase::new();
+    *guard.db_mut() = empty.clone();
+    assert!(
+        guard.db().generation() != empty.generation(),
+        "the drop bump must move the generation past the donor's"
+    );
+    assert!(
+        !query_hits(&guard, &mut index),
+        "stale verdict served after a bypass replacement"
+    );
+
+    // Even a borrow that mutates nothing invalidates (conservative, and
+    // what makes the guarantee unconditional).
+    let g = guard.db().generation();
+    let _ = guard.db_mut();
+    assert!(guard.db().generation() > g);
+}
+
+/// Load failures are typed: an unreadable file reports `io`, malformed
+/// content reports `parse` with the offending line — the serving pool's
+/// reload path routes these to separate telemetry counters.
+#[test]
+fn load_failures_are_typed() {
+    use jitbull::DbError;
+    let dir = std::env::temp_dir().join("jitbull-dberr-test");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let missing = dir.join("does-not-exist.dnadb");
+    let err = DnaDatabase::load_from(&missing, N_SLOTS).unwrap_err();
+    assert_eq!(err.kind(), "io");
+
+    let corrupt = dir.join("corrupt.dnadb");
+    std::fs::write(&corrupt, "@entry CVE-X f\n0 ? bad-sign\n").unwrap();
+    let err = DnaDatabase::load_from(&corrupt, N_SLOTS).unwrap_err();
+    assert_eq!(err.kind(), "parse");
+    match err {
+        DbError::Parse { line, ref msg } => {
+            assert_eq!(line, 1, "body lines count from the entry body start");
+            assert!(msg.contains("bad sign"), "{msg}");
+        }
+        DbError::Io(_) => panic!("expected a parse error"),
+    }
+    std::fs::remove_file(&corrupt).ok();
+}
+
 /// Database generations are strictly monotonic across a lifecycle and
 /// only move on actual content changes.
 #[test]

@@ -1,0 +1,317 @@
+//! End-to-end lockdown of the `jitbull-pool` serving runtime.
+//!
+//! The pool's three guarantees, exercised from the outside:
+//!
+//! 1. **No lost responses** — every accepted ticket resolves, even when
+//!    the serving worker panics or the pool shuts down with the queue
+//!    non-empty.
+//! 2. **No stale verdicts** — every response's `db_epoch >= min_epoch`,
+//!    and the response's generation and matched CVEs are exactly those
+//!    of the snapshot published at that epoch.
+//! 3. **Graceful degradation** — overload rejects fast with
+//!    [`PoolError::Overload`], deadline-lapsed requests fall back to
+//!    interpreter-only execution, and a panicking worker is respawned.
+//!
+//! The `#[ignore]` soak at the bottom runs all three at once for ~2000
+//! requests with hot-swaps and fault injection mid-traffic (CI runs it
+//! in release via `-- --ignored`).
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use jitbull::{CompareConfig, DnaDatabase};
+use jitbull_jit::engine::EngineConfig;
+use jitbull_jit::pipeline::N_SLOTS;
+use jitbull_jit::CveId;
+use jitbull_pool::{Pool, PoolConfig, PoolError, Request, Ticket};
+use jitbull_vdc::{build_database, vdc};
+
+/// The repo's test-convention thresholds: guaranteed self-matches, so a
+/// served ServeArray request flags every database entry carrying
+/// CVE-2019-17026's DNA.
+const PERMISSIVE: CompareConfig = CompareConfig { thr: 1, ratio: 0.5 };
+
+fn config(workers: usize, capacity: usize) -> PoolConfig {
+    PoolConfig {
+        workers,
+        capacity,
+        compare: PERMISSIVE,
+    }
+}
+
+/// A ServeArray request under the fast tier thresholds — hot enough to
+/// reach the optimizing tier (and therefore DNA analysis) in one run.
+fn serve_array() -> Request {
+    let mix = jitbull_workloads::serving_mix();
+    let w = mix.iter().find(|w| w.name == "ServeArray").unwrap();
+    Request::new(w.source.clone()).with_config(EngineConfig::fast_test())
+}
+
+/// A script heavy enough to pin a worker for tens of milliseconds.
+fn heavy() -> Request {
+    Request::new(
+        r#"
+var t = 0;
+for (var i = 0; i < 400; i++) {
+  for (var j = 0; j < 1000; j++) { t = t + i * j; }
+}
+print(t);
+"#,
+    )
+}
+
+/// The CVE-2019-17026 donor DNA, reinstalled under fresh CVE names so
+/// matched-CVE sets encode which snapshot served a request.
+fn donor() -> DnaDatabase {
+    build_database(&[vdc(CveId::Cve2019_17026)]).expect("vdc database builds")
+}
+
+fn install_round(pool: &Pool, round: usize) -> u64 {
+    let mut epoch = 0;
+    for e in donor().entries() {
+        epoch = pool.install(
+            format!("CVE-SWAP-{round}"),
+            e.function.clone(),
+            e.dna.clone(),
+        );
+    }
+    epoch
+}
+
+/// Epoch → (generation, sorted CVE names) for every snapshot this test
+/// published; the single test thread is the only publisher, so reading
+/// `published()` right after a publish observes exactly that snapshot.
+fn map_entry(pool: &Pool, map: &mut BTreeMap<u64, (u64, Vec<String>)>) {
+    let (epoch, snap) = pool.published();
+    let mut cves: Vec<String> = snap.cves().into_iter().map(str::to_owned).collect();
+    cves.sort();
+    cves.dedup();
+    map.insert(epoch, (snap.generation(), cves));
+}
+
+#[test]
+fn every_ticket_resolves_when_pool_drops_with_queued_work() {
+    let pool = Pool::new(config(2, 32), DnaDatabase::new());
+    let tickets: Vec<Ticket> = (0..12)
+        .map(|_| pool.submit(serve_array()).expect("capacity 32"))
+        .collect();
+    // Drop with most of the queue unserved: close() drains, so every
+    // ticket must still resolve (with a real response, not an error).
+    drop(pool);
+    for t in tickets {
+        let r = t.wait().expect("drained request serves");
+        assert!(!r.printed.is_empty());
+    }
+}
+
+#[test]
+fn overload_rejects_immediately_with_depth() {
+    let pool = Pool::new(config(1, 2), DnaDatabase::new());
+    let slow = pool.submit(heavy()).expect("first request fits");
+    // Give the single worker time to dequeue the heavy request; the
+    // queue is then empty and refills while the worker is pinned.
+    std::thread::sleep(Duration::from_millis(20));
+    let queued: Vec<Ticket> = (0..2)
+        .filter_map(|_| pool.submit(serve_array()).ok())
+        .collect();
+    assert_eq!(queued.len(), 2, "capacity-2 queue accepts two");
+    let mut rejections = 0;
+    for _ in 0..4 {
+        match pool.submit(serve_array()) {
+            Err(PoolError::Overload { depth }) => {
+                assert_eq!(depth, 2, "rejection reports the full depth");
+                rejections += 1;
+            }
+            Ok(t) => drop(t.wait()),
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejections >= 1, "full queue never rejected");
+    slow.wait().expect("heavy request still serves");
+    for t in queued {
+        t.wait().expect("queued requests still serve");
+    }
+    let stats = pool.shutdown();
+    assert_eq!(stats.rejected, rejections);
+    assert_eq!(stats.submitted + stats.rejected, 3 + 4);
+}
+
+#[test]
+fn lapsed_deadline_degrades_to_interpreter_only() {
+    let pool = Pool::new(config(1, 8), donor());
+    let on_time = pool
+        .submit(serve_array())
+        .unwrap()
+        .wait()
+        .expect("serves cleanly");
+    assert!(!on_time.degraded);
+    assert!(on_time.nr_jit >= 1, "fast thresholds reach the JIT");
+    assert!(
+        on_time.matched_cves.iter().any(|c| c == "CVE-2019-17026"),
+        "permissive thresholds flag the honest false positive"
+    );
+    // A zero deadline has always lapsed by dequeue time: same script,
+    // interpreter-only — no JIT tiers, no DNA analysis, still a result.
+    let late = pool
+        .submit(serve_array().with_deadline(Duration::ZERO))
+        .unwrap()
+        .wait()
+        .expect("degraded request still serves");
+    assert!(late.degraded);
+    assert_eq!(late.nr_jit, 0);
+    assert_eq!(late.matched_cves, Vec::<String>::new());
+    assert_eq!(late.printed, on_time.printed, "same answer either way");
+    let stats = pool.shutdown();
+    assert_eq!(stats.degraded, 1);
+}
+
+#[test]
+fn panicking_worker_is_isolated_and_respawned() {
+    let pool = Pool::new(config(1, 8), DnaDatabase::new());
+    // The single worker panics mid-service; the ticket must not hang.
+    let err = pool
+        .submit(Request::new("print(1);").with_chaos_panic())
+        .unwrap()
+        .wait()
+        .expect_err("chaos request cannot succeed");
+    assert!(matches!(err, PoolError::Panicked));
+    // The supervisor respawned the only worker: the pool still serves.
+    let after = pool.submit(serve_array()).unwrap().wait().unwrap();
+    assert!(!after.printed.is_empty());
+    let stats = pool.shutdown();
+    assert_eq!(stats.worker_restarts, 1);
+    assert_eq!(stats.served, 1, "the chaos request is not counted served");
+}
+
+#[test]
+fn hot_swap_serves_no_stale_verdicts() {
+    let pool = Pool::new(config(2, 64), DnaDatabase::new());
+    let mut map: BTreeMap<u64, (u64, Vec<String>)> = BTreeMap::new();
+    map_entry(&pool, &mut map); // epoch 1: empty database
+    let mut tickets: Vec<(u64, Ticket)> = Vec::new();
+    for round in 0..5 {
+        for _ in 0..4 {
+            let submit_epoch = pool.epoch();
+            tickets.push((submit_epoch, pool.submit(serve_array()).unwrap()));
+        }
+        install_round(&pool, round);
+        map_entry(&pool, &mut map);
+    }
+    for (submit_epoch, t) in tickets {
+        let r = t.wait().expect("serves cleanly");
+        // The no-stale-verdict guarantee, end to end.
+        assert!(r.min_epoch >= submit_epoch);
+        assert!(
+            r.db_epoch >= r.min_epoch,
+            "stale snapshot: served epoch {} < submit-time epoch {}",
+            r.db_epoch,
+            r.min_epoch
+        );
+        let (generation, cves) = map
+            .get(&r.db_epoch)
+            .unwrap_or_else(|| panic!("unknown epoch {}", r.db_epoch));
+        assert_eq!(
+            r.db_generation, *generation,
+            "epoch {} served content from a different generation",
+            r.db_epoch
+        );
+        // Every installed entry carries the same donor DNA, so the
+        // matched set must be exactly the snapshot's CVE list.
+        assert_eq!(&r.matched_cves, cves, "epoch {}", r.db_epoch);
+    }
+    let stats = pool.shutdown();
+    assert_eq!(stats.served, 20);
+    assert_eq!(stats.hotswaps, 5);
+}
+
+/// Release-profile soak: ~2000 requests across 4 workers with a hot-swap
+/// every 120 requests, fault injection, and zero-deadline stragglers.
+/// Every ticket must resolve; every response must satisfy the epoch and
+/// content checks of [`hot_swap_serves_no_stale_verdicts`].
+#[test]
+#[ignore = "pool soak; run with --release -- --ignored"]
+fn soak_hot_swaps_chaos_and_deadlines_for_2000_requests() {
+    const ROUNDS: usize = 16;
+    const PER_ROUND: usize = 120;
+    const CHAOS_PER_ROUND: usize = 2;
+    const LATE_PER_ROUND: usize = 3;
+
+    let pool = Pool::new(config(4, 4096), DnaDatabase::new());
+    let mut map: BTreeMap<u64, (u64, Vec<String>)> = BTreeMap::new();
+    map_entry(&pool, &mut map);
+    // (submit-time epoch, had a deadline, ticket); chaos tracked apart.
+    let mut normal: Vec<(u64, bool, Ticket)> = Vec::new();
+    let mut chaos: Vec<Ticket> = Vec::new();
+    for round in 0..ROUNDS {
+        for i in 0..PER_ROUND {
+            let late = i % (PER_ROUND / LATE_PER_ROUND) == 7;
+            let request = if late {
+                serve_array().with_deadline(Duration::ZERO)
+            } else {
+                serve_array()
+            };
+            normal.push((pool.epoch(), late, pool.submit(request).expect("capacity")));
+        }
+        for _ in 0..CHAOS_PER_ROUND {
+            chaos.push(
+                pool.submit(Request::new("print(0);").with_chaos_panic())
+                    .expect("capacity"),
+            );
+        }
+        install_round(&pool, round);
+        map_entry(&pool, &mut map);
+    }
+
+    let total = normal.len();
+    for (submit_epoch, late, t) in normal {
+        let r = t.wait().expect("every non-chaos request serves");
+        assert!(r.min_epoch >= submit_epoch);
+        assert!(r.db_epoch >= r.min_epoch, "stale snapshot served");
+        let (generation, cves) = map
+            .get(&r.db_epoch)
+            .unwrap_or_else(|| panic!("unknown epoch {}", r.db_epoch));
+        assert_eq!(r.db_generation, *generation);
+        if r.degraded {
+            assert_eq!(r.matched_cves, Vec::<String>::new());
+        } else {
+            assert_eq!(&r.matched_cves, cves);
+        }
+        assert!(r.degraded || !late || !r.printed.is_empty());
+    }
+    for t in chaos {
+        let err = t.wait().expect_err("chaos requests fail");
+        assert!(matches!(err, PoolError::Panicked));
+    }
+
+    let stats = pool.shutdown();
+    assert_eq!(stats.served, total as u64, "lost responses");
+    assert_eq!(stats.worker_restarts, (ROUNDS * CHAOS_PER_ROUND) as u64);
+    assert_eq!(stats.hotswaps, ROUNDS as u64);
+    assert_eq!(stats.rejected, 0);
+    // All four workers actually shared the load.
+    assert!(stats.worker_cycles.iter().all(|&c| c > 0));
+}
+
+#[test]
+fn failed_reload_keeps_the_old_database_serving() {
+    let pool = Pool::new(config(1, 8), donor());
+    let epoch_before = pool.epoch();
+    let err = pool
+        .reload_from_text("@entry CVE-X f\n0 ? bad-sign\n", N_SLOTS)
+        .expect_err("malformed update is refused");
+    assert_eq!(err.kind(), "parse");
+    assert_eq!(pool.epoch(), epoch_before, "failed reload must not publish");
+    let r = pool.submit(serve_array()).unwrap().wait().unwrap();
+    assert!(
+        r.matched_cves.iter().any(|c| c == "CVE-2019-17026"),
+        "old database still serving after the refused update"
+    );
+    // A well-formed update in the same wire format goes through.
+    let epoch = pool
+        .reload_from_text(&DnaDatabase::new().to_text(), N_SLOTS)
+        .expect("empty update is well-formed");
+    assert_eq!(epoch, epoch_before + 1);
+    let r = pool.submit(serve_array()).unwrap().wait().unwrap();
+    assert_eq!(r.matched_cves, Vec::<String>::new());
+    assert!(r.db_epoch >= epoch);
+}
