@@ -1,0 +1,57 @@
+//! Fault-injection overhead and serving-throughput retention.
+//!
+//! ```text
+//! cargo bench -p jitbull-bench --bench chaos_overhead
+//! ```
+//!
+//! Two acceptance checks from the chaos issue:
+//!
+//! 1. **No-fault overhead ~ 0.** An injector that is armed (rules
+//!    installed, every hot-path check consulted) but whose triggers can
+//!    never fire must produce *identical* simulated cycle counts to the
+//!    disabled injector, plain and guarded.
+//! 2. **Retention >= 80 %.** With a 1 % request-level deadline-blowout
+//!    rate and a 0.1 % per-pass IR-corruption rate, the pool must keep at
+//!    least 80 % of its fault-free serving throughput (served requests
+//!    per simulated busy cycle).
+
+use jitbull_bench::chaos_bench;
+
+fn main() {
+    // Workers recover from injected panics; keep the default hook quiet.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    println!("injector overhead (simulated cycles, serving mix):\n");
+    let points = chaos_bench::injector_overhead();
+    print!("{}", chaos_bench::render_overhead(&points));
+    assert!(
+        points.iter().all(chaos_bench::OverheadPoint::is_neutral),
+        "armed-idle injector changed simulated cycle counts"
+    );
+    println!("\narmed-idle delta: 0 cycles on every workload (acceptance: ~0)");
+
+    let r = chaos_bench::faulted_retention(200, 42);
+    println!(
+        "\nthroughput retention under faults (200 requests, 4 workers, seed 42):
+  fault-free : {} served / {} busy cycles
+  faulted    : {} served / {} busy cycles ({} faults injected, {}/{} tickets resolved)
+  retention  : {:.1}% (floor: 80%)",
+        r.clean_served,
+        r.clean_cycles,
+        r.faulted_served,
+        r.faulted_cycles,
+        r.injected,
+        r.faulted_resolved,
+        r.requests,
+        r.retention * 100.0,
+    );
+    assert_eq!(
+        r.faulted_resolved as usize, r.requests,
+        "a ticket was lost under fault injection"
+    );
+    assert!(
+        r.retention >= 0.8,
+        "retention {:.3} below the 0.8 acceptance floor",
+        r.retention
+    );
+}

@@ -6,7 +6,7 @@
 //! cargo run -p jitbull-bench --release --bin repro -- fig5
 //! ```
 
-use jitbull_bench::{ablation, figures, obs, registry, render_table, security};
+use jitbull_bench::{ablation, chaos_bench, figures, obs, registry, render_table, security};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +23,7 @@ fn main() {
         "fuzz" => fuzz(),
         "obs" => observability(),
         "serve" => serve(),
+        "chaos" => chaos(),
         "all" => {
             table1();
             window();
@@ -35,10 +36,11 @@ fn main() {
             fuzz();
             observability();
             serve();
+            chaos();
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro [table1|window|security|fig4|fig5|fig6|ablation|ablation-policy|fuzz|obs|serve|all]");
+            eprintln!("usage: repro [table1|window|security|fig4|fig5|fig6|ablation|ablation-policy|fuzz|obs|serve|chaos|all]");
             std::process::exit(2);
         }
     }
@@ -176,6 +178,64 @@ fn observability() {
             reference as f64 / indexed.max(1) as f64
         );
     }
+
+    // Recovery telemetry: run the deterministic fault ladder and surface
+    // the chaos.* / recovery.* counters it produced.
+    std::panic::set_hook(Box::new(|_| {}));
+    let ladder = chaos_bench::ladder(42);
+    println!(
+        "\nchaos/recovery telemetry (fault ladder, seed {}, {} faults injected):",
+        ladder.seed,
+        ladder.injected()
+    );
+    for line in &ladder.telemetry {
+        println!("  {line}");
+    }
+    let _ = std::panic::take_hook();
+}
+
+fn chaos() {
+    heading("Chaos — deterministic fault ladder: every injected fault recovered");
+
+    // Compile panics, worker panics, and deadline blowouts are the point
+    // of the exercise; keep their backtraces out of the report.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let first = chaos_bench::ladder(42);
+    let second = chaos_bench::ladder(42);
+    print!("{}", chaos_bench::render_ladder(&first));
+    println!(
+        "\ninjected {} / recovered {} ({})",
+        first.injected(),
+        first.recovered(),
+        if first.all_recovered() {
+            "100% — zero stale verdicts, zero lost tickets"
+        } else {
+            "RECOVERY GAP"
+        }
+    );
+    println!("\nper-kind fault tally:");
+    for (kind, n) in &first.tally.counts {
+        println!("  {kind:<18} {n}");
+    }
+    println!(
+        "\ndeterminism: second run with seed {} is {}",
+        first.seed,
+        if first == second {
+            "identical (same faults, same tallies, same evidence)"
+        } else {
+            "DIFFERENT"
+        }
+    );
+    println!("\nrecovery telemetry (chaos.* / recovery.* metrics):");
+    for line in &first.telemetry {
+        println!("  {line}");
+    }
+    assert!(
+        first.all_recovered(),
+        "fault ladder left faults unrecovered"
+    );
+    assert_eq!(first, second, "fault ladder is not deterministic");
 }
 
 fn serve() {
@@ -204,6 +264,7 @@ fn serve() {
             // Permissive thresholds (the repo's test convention) so the
             // honest ServeArray false positive flips verdict after the swap.
             compare: CompareConfig { thr: 1, ratio: 0.5 },
+            ..PoolConfig::default()
         },
         DnaDatabase::new(),
         collector,

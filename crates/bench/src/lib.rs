@@ -14,6 +14,7 @@
 //! | Thr/Ratio ablation | [`ablation`] | `ablation` |
 //! | Policy ablation | [`ablation`] | `ablation-policy` |
 //! | Telemetry report | [`obs`] | `obs` |
+//! | Chaos fault ladder | [`chaos_bench`] | `chaos` |
 //!
 //! Absolute numbers come from the deterministic cycle model, so they will
 //! not equal the paper's milliseconds; the *shapes* (who wins, by what
@@ -21,6 +22,7 @@
 //! `EXPERIMENTS.md`.
 
 pub mod ablation;
+pub mod chaos_bench;
 pub mod figures;
 pub mod obs;
 pub mod pool_bench;

@@ -49,6 +49,7 @@ pub fn throughput_scaling(worker_counts: &[usize], requests: usize) -> Vec<Scali
                     workers,
                     capacity: requests.max(1),
                     compare: CompareConfig::default(),
+                    ..PoolConfig::default()
                 },
                 db.clone(),
             );

@@ -1,0 +1,433 @@
+//! The JIT circuit breaker.
+//!
+//! Tracks compilation outcomes in a sliding window. Too many failures
+//! trips the breaker: subsequent requests are admitted in interpreter-only
+//! (degraded) mode for a cooldown, after which a single half-open *probe*
+//! request runs with the JIT re-enabled. A clean probe re-arms Ion for
+//! everyone; a failed probe re-opens the breaker for another cooldown.
+//!
+//! Counting is request-based rather than wall-clock-based so fault-
+//! injection runs replay identically — the tentpole's determinism
+//! acceptance criterion rules out `Instant`-driven state here.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Tuning for [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Sliding window length (reported outcomes remembered).
+    pub window: usize,
+    /// Failures within the window that trip the breaker.
+    pub threshold: u32,
+    /// Degraded admissions to serve after a trip before probing.
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        // Wide enough that the pool test-suite's scripted panics (1–2 per
+        // round) never trip it by accident; narrow enough that a sick
+        // engine degrades within a dozen requests.
+        BreakerConfig {
+            window: 16,
+            threshold: 4,
+            cooldown: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Closed,
+    Open { remaining: u32 },
+    HalfOpen { probing: bool },
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Closed => "closed",
+            Mode::Open { .. } => "open",
+            Mode::HalfOpen { .. } => "half_open",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    config: BreakerConfig,
+    recent: VecDeque<bool>, // true = failure
+    mode: Mode,
+    trips: u64,
+    probes: u64,
+    rearms: u64,
+    degraded: u64,
+    transitions: Vec<Transition>,
+}
+
+impl State {
+    fn transition(&mut self, to: Mode) {
+        self.transitions.push((self.mode.name(), to.name()));
+        self.mode = to;
+    }
+}
+
+/// A snapshot of breaker health for stats/telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Current state name (`"closed"` / `"open"` / `"half_open"`).
+    pub state: &'static str,
+    /// Times the breaker tripped open (including failed probes).
+    pub trips: u64,
+    /// Half-open probes dispatched.
+    pub probes: u64,
+    /// Times a clean probe re-armed the JIT.
+    pub rearms: u64,
+    /// Admissions served degraded because the breaker was open.
+    pub degraded: u64,
+}
+
+/// `(from, to)` state names for each transition, in order.
+pub type Transition = (&'static str, &'static str);
+
+/// The breaker. Cloning shares state (one breaker per pool).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    inner: Arc<Mutex<State>>,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    #[must_use]
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            inner: Arc::new(Mutex::new(State {
+                config,
+                recent: VecDeque::new(),
+                mode: Mode::Closed,
+                trips: 0,
+                probes: 0,
+                rearms: 0,
+                degraded: 0,
+                transitions: Vec::new(),
+            })),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits one request, returning a [`Permit`] that says whether the
+    /// JIT may run and that MUST be resolved (report or drop). A permit
+    /// dropped without a report — e.g. a worker panic unwinding through
+    /// the serve loop — counts as a failure, so a crashing JIT cannot
+    /// starve the window or wedge a half-open probe.
+    #[must_use]
+    pub fn admit(&self) -> Permit {
+        let mut st = self.lock();
+        let mut probe = false;
+        let jit = match st.mode {
+            Mode::Closed => true,
+            Mode::Open { remaining } => {
+                if remaining <= 1 {
+                    st.transition(Mode::HalfOpen { probing: false });
+                } else {
+                    st.mode = Mode::Open {
+                        remaining: remaining - 1,
+                    };
+                }
+                st.degraded += 1;
+                false
+            }
+            Mode::HalfOpen { probing: false } => {
+                st.mode = Mode::HalfOpen { probing: true };
+                st.probes += 1;
+                probe = true;
+                true
+            }
+            Mode::HalfOpen { probing: true } => {
+                st.degraded += 1;
+                false
+            }
+        };
+        drop(st);
+        Permit {
+            breaker: self.clone(),
+            jit,
+            probe,
+            resolved: !jit,
+        }
+    }
+
+    fn report(&self, failed: bool, probe: bool) {
+        let mut st = self.lock();
+        if probe {
+            // Only the probe permit resolves a half-open probe; anything
+            // else (the probe straggling in after a manual state change)
+            // is ignored.
+            if st.mode == (Mode::HalfOpen { probing: true }) {
+                if failed {
+                    st.trips += 1;
+                    let cooldown = st.config.cooldown.max(1);
+                    st.transition(Mode::Open {
+                        remaining: cooldown,
+                    });
+                } else {
+                    st.rearms += 1;
+                    st.transition(Mode::Closed);
+                }
+            }
+            return;
+        }
+        // Non-probe reports only count while closed; a report straggling
+        // in after another worker tripped the breaker no longer matters.
+        if st.mode == Mode::Closed {
+            st.recent.push_back(failed);
+            let window = st.config.window;
+            while st.recent.len() > window {
+                st.recent.pop_front();
+            }
+            let failures = st.recent.iter().filter(|f| **f).count() as u32;
+            if failed && failures >= st.config.threshold {
+                st.recent.clear();
+                st.trips += 1;
+                let cooldown = st.config.cooldown.max(1);
+                st.transition(Mode::Open {
+                    remaining: cooldown,
+                });
+            }
+        }
+    }
+
+    /// Current health snapshot.
+    #[must_use]
+    pub fn stats(&self) -> BreakerStats {
+        let st = self.lock();
+        BreakerStats {
+            state: st.mode.name(),
+            trips: st.trips,
+            probes: st.probes,
+            rearms: st.rearms,
+            degraded: st.degraded,
+        }
+    }
+
+    /// Drains the transition log accumulated since the last call
+    /// (`(from, to)` state-name pairs, in order).
+    #[must_use]
+    pub fn drain_transitions(&self) -> Vec<Transition> {
+        std::mem::take(&mut self.lock().transitions)
+    }
+}
+
+/// One admission. Resolve with [`Permit::report`] (or [`Permit::cancel`]
+/// when the JIT never actually ran); dropping a JIT-enabled permit
+/// unresolved reports a failure.
+#[derive(Debug)]
+pub struct Permit {
+    breaker: CircuitBreaker,
+    jit: bool,
+    probe: bool,
+    resolved: bool,
+}
+
+impl Permit {
+    /// Whether this request may enable the JIT.
+    #[must_use]
+    pub fn jit_allowed(&self) -> bool {
+        self.jit
+    }
+
+    /// Reports the compilation outcome (`failed = true` means at least
+    /// one compilation failure occurred while serving). No-op for
+    /// degraded permits.
+    pub fn report(mut self, failed: bool) {
+        if !self.resolved {
+            self.resolved = true;
+            self.breaker.report(failed, self.probe);
+        }
+    }
+
+    /// Resolves the permit without reporting an outcome — use when the
+    /// request ended up not exercising the JIT (e.g. deadline
+    /// degradation) so it neither helps nor harms the window. A
+    /// cancelled probe frees the probe slot for the next admission
+    /// instead of leaving half-open wedged.
+    pub fn cancel(mut self) {
+        self.resolved = true;
+        if self.probe {
+            let mut st = self.breaker.lock();
+            if st.mode == (Mode::HalfOpen { probing: true }) {
+                st.mode = Mode::HalfOpen { probing: false };
+            }
+        }
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        if !self.resolved {
+            // Unwound mid-serve: count it against the window.
+            self.breaker.report(true, self.probe);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tight() -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            window: 8,
+            threshold: 2,
+            cooldown: 3,
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_failures() {
+        let b = tight();
+        b.admit().report(true);
+        assert_eq!(b.stats().state, "closed");
+        b.admit().report(true);
+        assert_eq!(b.stats().state, "open");
+        assert_eq!(b.stats().trips, 1);
+    }
+
+    #[test]
+    fn successes_age_failures_out_of_the_window() {
+        let b = tight();
+        b.admit().report(true);
+        for _ in 0..8 {
+            b.admit().report(false);
+        }
+        b.admit().report(true); // old failure aged out: only 1 in window
+        assert_eq!(b.stats().state, "closed");
+    }
+
+    #[test]
+    fn cooldown_degrades_then_probe_rearms() {
+        let b = tight();
+        b.admit().report(true);
+        b.admit().report(true);
+        // Cooldown: 3 degraded admissions.
+        for _ in 0..3 {
+            let p = b.admit();
+            assert!(!p.jit_allowed());
+            p.report(true); // degraded reports are no-ops
+        }
+        // Probe runs with JIT and succeeds.
+        let probe = b.admit();
+        assert!(probe.jit_allowed());
+        assert_eq!(b.stats().state, "half_open");
+        probe.report(false);
+        let stats = b.stats();
+        assert_eq!(stats.state, "closed");
+        assert_eq!((stats.probes, stats.rearms, stats.degraded), (1, 1, 3));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let b = tight();
+        b.admit().report(true);
+        b.admit().report(true);
+        for _ in 0..3 {
+            b.admit().report(false);
+        }
+        let probe = b.admit();
+        assert!(probe.jit_allowed());
+        probe.report(true);
+        assert_eq!(b.stats().state, "open");
+        assert_eq!(b.stats().trips, 2);
+    }
+
+    #[test]
+    fn concurrent_probe_requests_degrade_while_probe_outstanding() {
+        let b = tight();
+        b.admit().report(true);
+        b.admit().report(true);
+        for _ in 0..3 {
+            let _ = b.admit();
+        }
+        let probe = b.admit();
+        assert!(probe.jit_allowed());
+        let bystander = b.admit();
+        assert!(!bystander.jit_allowed());
+        probe.report(false);
+        assert_eq!(b.stats().state, "closed");
+    }
+
+    #[test]
+    fn stale_closed_report_cannot_resolve_someone_elses_probe() {
+        let b = tight();
+        let straggler = b.admit(); // admitted while closed
+        b.admit().report(true);
+        b.admit().report(true); // trips
+        for _ in 0..3 {
+            let _ = b.admit();
+        }
+        let probe = b.admit();
+        assert!(probe.jit_allowed());
+        straggler.report(true); // must NOT be mistaken for the probe result
+        assert_eq!(b.stats().state, "half_open");
+        probe.report(false);
+        assert_eq!(b.stats().state, "closed");
+    }
+
+    #[test]
+    fn dropped_permit_counts_as_failure() {
+        let b = tight();
+        b.admit().report(true);
+        drop(b.admit()); // simulated worker panic
+        assert_eq!(b.stats().state, "open");
+    }
+
+    #[test]
+    fn cancelled_permit_is_neutral_and_frees_the_probe_slot() {
+        let b = tight();
+        b.admit().cancel();
+        b.admit().report(true);
+        b.admit().report(true); // threshold 2: cancel did not count
+        assert_eq!(b.stats().state, "open");
+        for _ in 0..3 {
+            let _ = b.admit();
+        }
+        let probe = b.admit();
+        assert!(probe.jit_allowed());
+        probe.cancel(); // probe never ran the JIT: slot must reopen
+        let retry = b.admit();
+        assert!(retry.jit_allowed(), "probe slot stayed wedged");
+        retry.report(false);
+        assert_eq!(b.stats().state, "closed");
+    }
+
+    #[test]
+    fn transition_log_records_the_state_machine() {
+        let b = tight();
+        b.admit().report(true);
+        b.admit().report(true);
+        for _ in 0..3 {
+            let _ = b.admit();
+        }
+        b.admit().report(false);
+        let log = b.drain_transitions();
+        assert_eq!(
+            log,
+            vec![
+                ("closed", "open"),
+                ("open", "half_open"),
+                ("half_open", "closed"),
+            ]
+        );
+        assert!(b.drain_transitions().is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! The function quarantine list.
+//!
+//! A function whose Ion compilation fails catastrophically (panic,
+//! watchdog expiry) earns a *strike*; at the configured threshold it is
+//! quarantined — pinned to no-go so the engine never retries a
+//! compilation that keeps blowing up. The list is **monotonic**: strikes
+//! and quarantine membership only grow, which is the invariant the chaos
+//! property sweep asserts.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+#[derive(Debug, Default)]
+struct Inner {
+    strikes: HashMap<String, u32>,
+    quarantined: BTreeSet<String>,
+}
+
+/// Shared strike list. Cloning shares state — a pool hands one clone to
+/// every worker so quarantine decisions survive across requests.
+#[derive(Debug, Clone)]
+pub struct Quarantine {
+    inner: Arc<Mutex<Inner>>,
+    threshold: u32,
+}
+
+impl Default for Quarantine {
+    /// Two strikes — "panics twice" — per the paper-repro failure model.
+    fn default() -> Self {
+        Quarantine::with_threshold(2)
+    }
+}
+
+impl Quarantine {
+    /// A quarantine list pinning functions after `threshold` strikes
+    /// (minimum 1).
+    #[must_use]
+    pub fn with_threshold(threshold: u32) -> Self {
+        Quarantine {
+            inner: Arc::new(Mutex::new(Inner::default())),
+            threshold: threshold.max(1),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records one compilation catastrophe for `function`. Returns the
+    /// strike count, and quarantines the function when it reaches the
+    /// threshold.
+    pub fn strike(&self, function: &str) -> u32 {
+        let mut inner = self.lock();
+        let strikes = inner.strikes.entry(function.to_string()).or_insert(0);
+        *strikes += 1;
+        let strikes = *strikes;
+        if strikes >= self.threshold {
+            inner.quarantined.insert(function.to_string());
+        }
+        strikes
+    }
+
+    /// Whether `function` is pinned no-go.
+    #[must_use]
+    pub fn is_quarantined(&self, function: &str) -> bool {
+        self.lock().quarantined.contains(function)
+    }
+
+    /// Strikes recorded against `function` so far.
+    #[must_use]
+    pub fn strikes(&self, function: &str) -> u32 {
+        self.lock().strikes.get(function).copied().unwrap_or(0)
+    }
+
+    /// Quarantined function names, sorted.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<String> {
+        self.lock().quarantined.iter().cloned().collect()
+    }
+
+    /// Number of quarantined functions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().quarantined.len()
+    }
+
+    /// Whether nothing is quarantined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured strike threshold.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_strikes_quarantine() {
+        let q = Quarantine::default();
+        assert_eq!(q.strike("hot"), 1);
+        assert!(!q.is_quarantined("hot"));
+        assert_eq!(q.strike("hot"), 2);
+        assert!(q.is_quarantined("hot"));
+        assert!(!q.is_quarantined("cold"));
+    }
+
+    #[test]
+    fn membership_is_monotonic() {
+        let q = Quarantine::with_threshold(1);
+        q.strike("a");
+        q.strike("b");
+        let before = q.quarantined();
+        q.strike("a"); // extra strikes never remove anything
+        let after = q.quarantined();
+        assert!(before.iter().all(|f| after.contains(f)));
+        assert_eq!(after, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_the_list() {
+        let q = Quarantine::default();
+        let worker_view = q.clone();
+        q.strike("f");
+        worker_view.strike("f");
+        assert!(q.is_quarantined("f"));
+        assert_eq!(worker_view.strikes("f"), 2);
+    }
+}

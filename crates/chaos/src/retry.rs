@@ -1,0 +1,205 @@
+//! Retry with exponential backoff and seeded jitter.
+//!
+//! Built for DB hot-swap: a transient reload fault must never leave the
+//! old snapshot unserved or publish a partial database, so the pool
+//! retries the load a bounded number of times, backing off between
+//! attempts. Jitter comes from `jitbull-prng` seeded by the policy, so a
+//! given policy produces the same backoff schedule every run — the chaos
+//! ladder's determinism check covers the schedule too.
+
+use std::time::Duration;
+
+use jitbull_prng::Rng;
+
+/// Backoff tuning. The schedule for attempt `k` (1-based) is
+/// `base_micros * factor^(k-1)`, multiplied by a jitter factor uniform in
+/// `[1 - jitter, 1 + jitter]` drawn from the seeded stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included; minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in microseconds.
+    pub base_micros: u64,
+    /// Exponential growth factor per retry.
+    pub factor: u32,
+    /// Jitter amplitude in `[0, 1]` (0 = none).
+    pub jitter: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_micros: 100,
+            factor: 2,
+            jitter: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The full deterministic backoff schedule (one entry per retry,
+    /// i.e. `max_attempts - 1` entries), in microseconds.
+    #[must_use]
+    pub fn schedule(&self) -> Vec<u64> {
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0xC0FF_EE00_D15E_A5E5);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        (1..self.max_attempts.max(1))
+            .map(|k| {
+                let base = self
+                    .base_micros
+                    .saturating_mul(u64::from(self.factor.max(1)).saturating_pow(k - 1));
+                let scale = 1.0 + jitter * (2.0 * rng.next_f64() - 1.0);
+                (base as f64 * scale).round().max(0.0) as u64
+            })
+            .collect()
+    }
+}
+
+/// What a retried operation went through.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RetryReport {
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Microseconds backed off before each retry actually made.
+    pub backoffs_micros: Vec<u64>,
+    /// Whether the final attempt succeeded.
+    pub recovered: bool,
+}
+
+/// Runs `op` up to `policy.max_attempts` times, sleeping the scheduled
+/// backoff between attempts and reporting each failure through
+/// `on_retry(attempt, backoff_micros, &error)` before backing off.
+///
+/// Returns the last result plus the [`RetryReport`]. Success on the first
+/// attempt performs zero sleeps and zero callbacks.
+///
+/// # Errors
+///
+/// Returns the final attempt's error when every attempt failed.
+pub fn retry_with<T, E>(
+    policy: &RetryPolicy,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+    mut on_retry: impl FnMut(u32, u64, &E),
+) -> (Result<T, E>, RetryReport) {
+    let schedule = policy.schedule();
+    let max = policy.max_attempts.max(1);
+    let mut report = RetryReport::default();
+    let mut attempt = 1;
+    loop {
+        report.attempts = attempt;
+        match op(attempt) {
+            Ok(value) => {
+                report.recovered = true;
+                return (Ok(value), report);
+            }
+            Err(err) => {
+                if attempt >= max {
+                    return (Err(err), report);
+                }
+                let backoff = schedule.get((attempt - 1) as usize).copied().unwrap_or(0);
+                on_retry(attempt, backoff, &err);
+                report.backoffs_micros.push(backoff);
+                std::thread::sleep(Duration::from_micros(backoff));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_and_exponential() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_micros: 100,
+            factor: 2,
+            jitter: 0.25,
+            seed: 9,
+        };
+        let a = policy.schedule();
+        let b = policy.schedule();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        for (k, micros) in a.iter().enumerate() {
+            let base = 100u64 << k;
+            let lo = (base as f64 * 0.75) as u64;
+            let hi = (base as f64 * 1.25).ceil() as u64;
+            assert!(
+                (lo..=hi).contains(micros),
+                "attempt {k}: {micros} outside [{lo}, {hi}]"
+            );
+        }
+        let other = RetryPolicy { seed: 10, ..policy };
+        assert_ne!(a, other.schedule());
+    }
+
+    #[test]
+    fn zero_jitter_gives_exact_exponential() {
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_micros: 10,
+            factor: 3,
+            jitter: 0.0,
+            seed: 0,
+        };
+        assert_eq!(policy.schedule(), vec![10, 30, 90]);
+    }
+
+    #[test]
+    fn first_try_success_does_not_back_off() {
+        let policy = RetryPolicy::default();
+        let (out, report) = retry_with(&policy, |_| Ok::<_, ()>(42), |_, _, _| panic!("no retry"));
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(report.attempts, 1);
+        assert!(report.recovered);
+        assert!(report.backoffs_micros.is_empty());
+    }
+
+    #[test]
+    fn transient_failures_recover_with_backoffs_recorded() {
+        let policy = RetryPolicy {
+            base_micros: 1,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let mut retries = Vec::new();
+        let (out, report) = retry_with(
+            &policy,
+            |attempt| {
+                if attempt < 3 {
+                    Err("transient")
+                } else {
+                    Ok("loaded")
+                }
+            },
+            |attempt, backoff, err| retries.push((attempt, backoff, *err)),
+        );
+        assert_eq!(out.unwrap(), "loaded");
+        assert_eq!(report.attempts, 3);
+        assert!(report.recovered);
+        assert_eq!(report.backoffs_micros, vec![1, 2]);
+        assert_eq!(retries, vec![(1, 1, "transient"), (2, 2, "transient")]);
+    }
+
+    #[test]
+    fn exhausted_retries_return_the_last_error() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_micros: 1,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let (out, report) = retry_with(&policy, Err::<(), u32>, |_, _, _| {});
+        assert_eq!(out.unwrap_err(), 3);
+        assert_eq!(report.attempts, 3);
+        assert!(!report.recovered);
+        assert_eq!(report.backoffs_micros.len(), 2);
+    }
+}

@@ -8,8 +8,78 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use jitbull_chaos::{FaultInjector, FaultKind, FaultSite};
+
 use crate::dna::Dna;
 use crate::error::DbError;
+
+/// How [`DnaDatabase::from_text_checked`] treats malformed entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Any malformed line aborts the whole load (the default — a corrupt
+    /// maintainer update must never be half-applied silently).
+    #[default]
+    Strict,
+    /// Malformed VDC entries are skipped; each skip is collected as a
+    /// line-numbered warning in the [`LoadReport`]. The well-formed
+    /// remainder still loads — the degraded-but-serving recovery mode.
+    Partial,
+}
+
+/// What a checked load did: entries loaded, entries skipped, and the
+/// line-numbered reasons for every skip. Warnings carry *absolute* file
+/// line numbers (entry-body parse errors are rebased from body-relative
+/// to file position), so a maintainer can go straight to the bad line.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// One [`DbError::Parse`] per skipped entry / stray line, in file
+    /// order. Empty under [`LoadMode::Strict`] (strict aborts instead).
+    pub warnings: Vec<DbError>,
+    /// Entries parsed and installed.
+    pub loaded: usize,
+    /// Entries discarded as malformed.
+    pub skipped: usize,
+}
+
+impl LoadReport {
+    /// Whether the load was pristine (nothing skipped, no warnings).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.warnings.is_empty() && self.skipped == 0
+    }
+}
+
+/// Rebases an entry-body parse error (lines counted from the body start)
+/// to the absolute file line. `body_start` is the 1-based file line of
+/// the body's first line; an unpinned error (line 0) is pinned to the
+/// `@entry` header just above it.
+fn rebase(e: DbError, body_start: usize) -> DbError {
+    match e {
+        DbError::Parse { line: 0, msg } => DbError::Parse {
+            line: body_start.saturating_sub(1),
+            msg,
+        },
+        DbError::Parse { line, msg } => DbError::Parse {
+            line: body_start + line - 1,
+            msg,
+        },
+        other => other,
+    }
+}
+
+/// Models a torn read: keeps the first half of the lines and appends a
+/// malformed `@entry` header, so a strict parse can never mistake the
+/// prefix for a complete update.
+fn torn_text(text: &str) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = String::new();
+    for line in &lines[..lines.len() / 2] {
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str("@entry torn\n");
+    out
+}
 
 /// Process-wide generation source. Every observable content change of
 /// any [`DnaDatabase`] draws a fresh value, so two *different* database
@@ -161,49 +231,142 @@ impl DnaDatabase {
         out
     }
 
-    /// Parses [`DnaDatabase::to_text`] output.
+    /// Parses [`DnaDatabase::to_text`] output under [`LoadMode::Strict`].
     ///
     /// # Errors
     ///
-    /// Returns a [`DbError::Parse`] for the first malformed line. Entry
-    /// bodies are parsed by [`Dna::from_text`], whose line numbers count
-    /// from the start of that body.
+    /// Returns a [`DbError::Parse`] for the first malformed line, with
+    /// the absolute file line number.
     pub fn from_text(text: &str, n_slots: usize) -> Result<Self, DbError> {
+        DnaDatabase::from_text_checked(text, n_slots, LoadMode::Strict).map(|(db, _)| db)
+    }
+
+    /// Parses [`DnaDatabase::to_text`] output under an explicit
+    /// [`LoadMode`], reporting what was loaded and what was skipped.
+    ///
+    /// # Errors
+    ///
+    /// Under [`LoadMode::Strict`], any malformed line aborts with a
+    /// [`DbError::Parse`] (absolute file line). Under
+    /// [`LoadMode::Partial`], malformed entries become [`LoadReport`]
+    /// warnings instead and the call only fails on I/O-level problems
+    /// (none for in-memory text).
+    pub fn from_text_checked(
+        text: &str,
+        n_slots: usize,
+        mode: LoadMode,
+    ) -> Result<(Self, LoadReport), DbError> {
         let mut db = DnaDatabase::new();
-        let mut current: Option<(String, String, String)> = None;
-        let flush = |db: &mut DnaDatabase,
-                     cur: &mut Option<(String, String, String)>|
-         -> Result<(), DbError> {
-            if let Some((cve, function, body)) = cur.take() {
-                let dna = Dna::from_text(&body, n_slots)?;
-                db.entries.push(VdcEntry { cve, function, dna });
+        let mut report = LoadReport::default();
+        // (cve, function, body, 1-based file line the body starts at)
+        let mut current: Option<(String, String, String, usize)> = None;
+        // Partial mode: body lines of a malformed entry being discarded.
+        let mut skipping = false;
+        fn flush(
+            db: &mut DnaDatabase,
+            cur: &mut Option<(String, String, String, usize)>,
+            n_slots: usize,
+            mode: LoadMode,
+            report: &mut LoadReport,
+        ) -> Result<(), DbError> {
+            if let Some((cve, function, body, body_start)) = cur.take() {
+                match Dna::from_text(&body, n_slots) {
+                    Ok(dna) => {
+                        db.entries.push(VdcEntry { cve, function, dna });
+                        report.loaded += 1;
+                    }
+                    Err(e) => {
+                        let e = rebase(e, body_start);
+                        match mode {
+                            LoadMode::Strict => return Err(e),
+                            LoadMode::Partial => {
+                                report.warnings.push(e);
+                                report.skipped += 1;
+                            }
+                        }
+                    }
+                }
             }
             Ok(())
-        };
+        }
         for (ln, line) in text.lines().enumerate() {
+            let file_line = ln + 1;
             if let Some(rest) = line.strip_prefix("@entry ") {
-                flush(&mut db, &mut current)?;
+                flush(&mut db, &mut current, n_slots, mode, &mut report)?;
+                skipping = false;
                 let mut parts = rest.splitn(2, ' ');
                 let cve = parts.next().unwrap_or_default().to_owned();
-                let function = parts
-                    .next()
-                    .ok_or_else(|| {
-                        DbError::parse(ln + 1, format!("malformed @entry line: {line}"))
-                    })?
-                    .to_owned();
-                current = Some((cve, function, String::new()));
-            } else if let Some((_, _, body)) = &mut current {
+                match parts.next() {
+                    Some(function) => {
+                        current = Some((cve, function.to_owned(), String::new(), file_line + 1));
+                    }
+                    None => {
+                        let e = DbError::parse(file_line, format!("malformed @entry line: {line}"));
+                        match mode {
+                            LoadMode::Strict => return Err(e),
+                            LoadMode::Partial => {
+                                report.warnings.push(e);
+                                report.skipped += 1;
+                                skipping = true;
+                            }
+                        }
+                    }
+                }
+            } else if let Some((_, _, body, _)) = &mut current {
                 body.push_str(line);
                 body.push('\n');
-            } else if !line.trim().is_empty() {
-                return Err(DbError::parse(
-                    ln + 1,
-                    format!("content before first @entry: {line}"),
-                ));
+            } else if skipping || line.trim().is_empty() {
+                // Body of an already-reported malformed entry, or a blank
+                // leading line — nothing more to say about either.
+            } else {
+                let e = DbError::parse(file_line, format!("content before first @entry: {line}"));
+                match mode {
+                    LoadMode::Strict => return Err(e),
+                    LoadMode::Partial => report.warnings.push(e),
+                }
             }
         }
-        flush(&mut db, &mut current)?;
-        Ok(db)
+        flush(&mut db, &mut current, n_slots, mode, &mut report)?;
+        Ok((db, report))
+    }
+
+    /// [`DnaDatabase::from_text_checked`] behind a fault-injection gate:
+    /// one [`FaultSite::DbLoad`] occurrence is consumed, and an armed
+    /// plan can fail the load with a synthetic I/O or parse error or tear
+    /// the text mid-entry before parsing. With a disabled injector this
+    /// is exactly `from_text_checked`.
+    ///
+    /// # Errors
+    ///
+    /// Everything `from_text_checked` returns, plus the injected
+    /// failures themselves.
+    pub fn from_text_faulted(
+        text: &str,
+        n_slots: usize,
+        mode: LoadMode,
+        faults: &FaultInjector,
+    ) -> Result<(Self, LoadReport), DbError> {
+        if DnaDatabase::fault_gate(faults)? {
+            DnaDatabase::from_text_checked(&torn_text(text), n_slots, mode)
+        } else {
+            DnaDatabase::from_text_checked(text, n_slots, mode)
+        }
+    }
+
+    /// Consumes one `DbLoad` fault occurrence. `Ok(true)` means "tear
+    /// the text before parsing"; injected I/O / parse faults surface as
+    /// the corresponding [`DbError`].
+    fn fault_gate(faults: &FaultInjector) -> Result<bool, DbError> {
+        match faults.fire(FaultSite::DbLoad) {
+            Some(FaultKind::DbIo) => Err(DbError::Io(std::io::Error::other(
+                "chaos: injected database i/o fault",
+            ))),
+            Some(FaultKind::DbParse) => {
+                Err(DbError::parse(0, "chaos: injected database parse fault"))
+            }
+            Some(FaultKind::DbTruncate) => Ok(true),
+            _ => Ok(false),
+        }
     }
 }
 
@@ -225,8 +388,47 @@ impl DnaDatabase {
     /// [`DbError::Parse`] when its content is malformed — the caller can
     /// tell "retry the read" apart from "the update itself is corrupt".
     pub fn load_from(path: impl AsRef<std::path::Path>, n_slots: usize) -> Result<Self, DbError> {
+        DnaDatabase::load_from_checked(path, n_slots, LoadMode::Strict).map(|(db, _)| db)
+    }
+
+    /// [`DnaDatabase::load_from`] with an explicit [`LoadMode`] and a
+    /// [`LoadReport`] describing skipped entries.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Io`] when the file cannot be read; parse failures per
+    /// the chosen mode (see [`DnaDatabase::from_text_checked`]).
+    pub fn load_from_checked(
+        path: impl AsRef<std::path::Path>,
+        n_slots: usize,
+        mode: LoadMode,
+    ) -> Result<(Self, LoadReport), DbError> {
         let text = std::fs::read_to_string(path)?;
-        DnaDatabase::from_text(&text, n_slots)
+        DnaDatabase::from_text_checked(&text, n_slots, mode)
+    }
+
+    /// [`DnaDatabase::load_from_checked`] behind a fault-injection gate
+    /// (see [`DnaDatabase::from_text_faulted`]). An injected I/O fault
+    /// fails the load before the file is even read — modelling an
+    /// unreadable update file.
+    ///
+    /// # Errors
+    ///
+    /// Everything `load_from_checked` returns, plus the injected
+    /// failures themselves.
+    pub fn load_from_faulted(
+        path: impl AsRef<std::path::Path>,
+        n_slots: usize,
+        mode: LoadMode,
+        faults: &FaultInjector,
+    ) -> Result<(Self, LoadReport), DbError> {
+        let truncate = DnaDatabase::fault_gate(faults)?;
+        let text = std::fs::read_to_string(path)?;
+        if truncate {
+            DnaDatabase::from_text_checked(&torn_text(&text), n_slots, mode)
+        } else {
+            DnaDatabase::from_text_checked(&text, n_slots, mode)
+        }
     }
 }
 
@@ -326,6 +528,95 @@ mod tests {
         let back = DnaDatabase::load_from(&path, 8).unwrap();
         assert_eq!(db, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn partial_mode_skips_malformed_entries_with_absolute_lines() {
+        let text =
+            "@entry CVE-GOOD f\n3 - a>b\n@entry CVE-BAD g\n9 - a>b\n@entry CVE-ALSO h\n2 - c>d\n";
+        // Strict aborts, pinned to the absolute file line of the bad body.
+        match DnaDatabase::from_text_checked(text, 8, LoadMode::Strict) {
+            Err(DbError::Parse { line, .. }) => assert_eq!(line, 4),
+            other => panic!("expected strict parse failure, got {other:?}"),
+        }
+        // Partial loads the good entries and files one warning per skip.
+        let (db, report) = DnaDatabase::from_text_checked(text, 8, LoadMode::Partial).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.cves(), vec!["CVE-ALSO", "CVE-GOOD"]);
+        assert_eq!((report.loaded, report.skipped), (2, 1));
+        assert!(!report.is_clean());
+        match &report.warnings[..] {
+            [DbError::Parse { line, .. }] => assert_eq!(*line, 4),
+            other => panic!("expected one line-4 warning, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_mode_skips_malformed_headers_and_their_bodies() {
+        let text = "@entry torn\n3 - a>b\n@entry CVE-OK f\n2 - c>d\n";
+        assert!(DnaDatabase::from_text(text, 8).is_err());
+        let (db, report) = DnaDatabase::from_text_checked(text, 8, LoadMode::Partial).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(report.skipped, 1);
+        match &report.warnings[..] {
+            [DbError::Parse { line, msg }] => {
+                assert_eq!(*line, 1);
+                assert!(msg.contains("malformed @entry"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulted_load_injects_io_parse_and_truncation() {
+        use jitbull_chaos::{FaultInjector, FaultKind, FaultPlan, FaultSite};
+        let mut db = DnaDatabase::new();
+        db.install("CVE-1", "f", sample_dna());
+        db.install("CVE-2", "g", sample_dna());
+        let text = db.to_text();
+
+        let io = FaultInjector::from_plan(FaultPlan::new(1).script(
+            FaultSite::DbLoad,
+            FaultKind::DbIo,
+            0,
+            1,
+        ));
+        let err = DnaDatabase::from_text_faulted(&text, 8, LoadMode::Strict, &io).unwrap_err();
+        assert_eq!(err.kind(), "io");
+        // The window is over: the second attempt succeeds untouched.
+        let (back, report) =
+            DnaDatabase::from_text_faulted(&text, 8, LoadMode::Strict, &io).unwrap();
+        assert_eq!(back, db);
+        assert!(report.is_clean());
+
+        let parse = FaultInjector::from_plan(FaultPlan::new(2).script(
+            FaultSite::DbLoad,
+            FaultKind::DbParse,
+            0,
+            1,
+        ));
+        let err = DnaDatabase::from_text_faulted(&text, 8, LoadMode::Strict, &parse).unwrap_err();
+        assert_eq!(err.kind(), "parse");
+
+        // A torn read must never parse as a complete update under Strict…
+        let torn = FaultInjector::from_plan(FaultPlan::new(3).script(
+            FaultSite::DbLoad,
+            FaultKind::DbTruncate,
+            0,
+            2,
+        ));
+        assert!(DnaDatabase::from_text_faulted(&text, 8, LoadMode::Strict, &torn).is_err());
+        // …while Partial salvages the intact prefix and reports the tear.
+        let (prefix, report) =
+            DnaDatabase::from_text_faulted(&text, 8, LoadMode::Partial, &torn).unwrap();
+        assert!(prefix.len() < db.len());
+        assert!(!report.warnings.is_empty());
+
+        // Disabled injector: plain checked load, no occurrences consumed.
+        let off = FaultInjector::disabled();
+        let (clean, _) = DnaDatabase::from_text_faulted(&text, 8, LoadMode::Strict, &off).unwrap();
+        assert_eq!(clean, db);
+        assert_eq!(off.occurrences(FaultSite::DbLoad), 0);
     }
 
     #[test]

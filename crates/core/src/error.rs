@@ -19,8 +19,8 @@ pub enum DbError {
     /// The underlying file could not be read.
     Io(std::io::Error),
     /// The update text is malformed. `line` is 1-based within the text
-    /// that was being parsed (an entry body's lines count from the start
-    /// of that body).
+    /// that was being parsed; database loads rebase entry-body errors to
+    /// the absolute file line.
     Parse {
         /// 1-based line number the parser stopped at (0 when unknown).
         line: usize,

@@ -3,6 +3,7 @@
 
 use std::cell::RefCell;
 
+use jitbull_chaos::{FaultInjector, FaultKind, FaultSite};
 use jitbull_mir::PassTrace;
 use jitbull_telemetry::{Collector, Event};
 
@@ -65,6 +66,10 @@ pub struct Guard {
     /// index too — valid, because the clone starts from identical
     /// database content at the same generation.
     index: RefCell<ComparatorIndex>,
+    /// Chaos hook: consulted once per indexed query
+    /// ([`jitbull_chaos::FaultSite::ComparatorQuery`]). Disabled by
+    /// default — a single pointer test on the hot path.
+    faults: FaultInjector,
 }
 
 impl Guard {
@@ -80,7 +85,16 @@ impl Guard {
             config,
             mode,
             index: RefCell::new(ComparatorIndex::default()),
+            faults: FaultInjector::disabled(),
         }
+    }
+
+    /// Arms (or disarms) the fault injector consulted per indexed query.
+    /// A [`jitbull_chaos::FaultKind::CachePoison`] fault fired here
+    /// corrupts the comparator's memoised state *before* the query runs,
+    /// exercising the poison-purge recovery path.
+    pub fn set_fault_injector(&mut self, faults: FaultInjector) {
+        self.faults = faults;
     }
 
     /// The comparator implementation in use.
@@ -205,6 +219,11 @@ impl Guard {
         let dna = extract_dna(trace, n_slots);
         let mut cost = trace_work(trace) * EXTRACT_COST_PER_INSTR;
         let mut index = self.index.borrow_mut();
+        if let Some(FaultKind::CachePoison) = self.faults.fire(FaultSite::ComparatorQuery) {
+            // The torn write lands before `ensure` — recovery is the
+            // rebuild the zeroed generation stamp forces next line.
+            index.poison();
+        }
         cost += index.ensure(&self.db);
         let (hits, receipt) = index.query(&dna, &self.config);
         cost += receipt.cost_cycles;
@@ -239,7 +258,14 @@ impl Guard {
         n_slots: usize,
         collector: &mut dyn Collector,
     ) -> Analysis {
+        let purges_before = self.index.borrow().stats().poison_purges;
         let (analysis, receipt) = self.analyze_with_receipt(trace, n_slots);
+        let stats_after = self.index.borrow().stats();
+        if stats_after.poison_purges > purges_before {
+            collector.record(Event::CachePoisonPurged {
+                rebuilds: stats_after.rebuilds,
+            });
+        }
         if let Some(r) = receipt {
             collector.record(Event::ComparatorQuery {
                 function: trace.function.clone(),
@@ -446,6 +472,37 @@ mod tests {
         // Removing the CVE must not serve the stale cached verdict.
         guard.db_mut().remove_cve("CVE-A");
         assert!(guard.analyze(&trace, 32).dangerous.is_empty());
+    }
+
+    #[test]
+    fn cache_poison_is_purged_and_reported() {
+        use jitbull_chaos::{FaultPlan, FaultSite as Site};
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", Guard::extract(&trace_removing_check(6), 32));
+        let mut guard = Guard::new(db, cfg);
+        let trace = trace_removing_check(6);
+        // Warm the verdict cache.
+        assert_eq!(guard.analyze(&trace, 32).dangerous, vec![6]);
+        // Poison the comparator state on the next query.
+        guard.set_fault_injector(FaultInjector::from_plan(FaultPlan::new(5).script(
+            Site::ComparatorQuery,
+            FaultKind::CachePoison,
+            0,
+            1,
+        )));
+        let mut rec = jitbull_telemetry::Recorder::new();
+        let analysis = guard.analyze_observed(&trace, 32, &mut rec);
+        assert_eq!(
+            analysis.dangerous,
+            vec![6],
+            "a poisoned cache must cost a rebuild, never a wrong verdict"
+        );
+        assert_eq!(guard.comparator_stats().poison_purges, 1);
+        assert_eq!(rec.metrics().counter("recovery.cache_poison_purged"), 1);
+        // The fault window is over: the next query is clean again.
+        assert_eq!(guard.analyze(&trace, 32).dangerous, vec![6]);
+        assert_eq!(guard.comparator_stats().poison_purges, 1);
     }
 
     #[test]

@@ -268,6 +268,9 @@ pub struct IndexStats {
     pub sharded_scans: u64,
     /// Index rebuilds (database generation changes observed).
     pub rebuilds: u64,
+    /// Rebuilds that additionally discarded a poisoned verdict cache
+    /// (see [`ComparatorIndex::poison`]).
+    pub poison_purges: u64,
 }
 
 /// Per-entry dangerous-slot lists, in database-entry order; entries with
@@ -351,6 +354,9 @@ pub struct ComparatorIndex {
     /// stored DNA guards against hash collisions.
     cache: HashMap<u64, Vec<(Dna, Arc<EntryMatches>)>>,
     cached: usize,
+    /// Set by [`ComparatorIndex::poison`]; cleared (and counted) by the
+    /// rebuild that discards the poisoned state.
+    poisoned: bool,
     stats: IndexStats,
     config: IndexConfig,
 }
@@ -385,12 +391,35 @@ impl ComparatorIndex {
         self.cached = 0;
     }
 
+    /// Corrupts the index in place, modelling a torn write over the
+    /// comparator's memoised state: every cached verdict is overwritten
+    /// with garbage and the generation stamp is zeroed. Because real
+    /// database generations start at 1, the zeroed stamp can never equal
+    /// any database's generation — the next [`ComparatorIndex::ensure`]
+    /// is therefore *guaranteed* to rebuild from the authoritative
+    /// database and discard the garbage, which is exactly the recovery
+    /// property the chaos harness asserts: a poisoned cache costs one
+    /// rebuild, never a wrong verdict.
+    pub fn poison(&mut self) {
+        for bucket in self.cache.values_mut() {
+            for (_, verdict) in bucket.iter_mut() {
+                *verdict = Arc::new(vec![(usize::MAX, vec![usize::MAX])]);
+            }
+        }
+        self.generation = 0;
+        self.poisoned = true;
+    }
+
     /// Rebuilds the index if `db` has changed generation since the last
     /// build. Returns the simulated cycles the rebuild cost (0 when the
     /// index was already current).
     pub fn ensure(&mut self, db: &DnaDatabase) -> u64 {
         if self.generation == db.generation() {
             return 0;
+        }
+        if self.poisoned {
+            self.poisoned = false;
+            self.stats.poison_purges += 1;
         }
         self.interner = ChainInterner::new();
         self.cache.clear();
@@ -719,5 +748,29 @@ mod tests {
         let (_, r2) = index.query(&vdc, &cfg);
         assert!(!r1.cache_hit && !r2.cache_hit);
         assert_eq!(index.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn poisoned_cache_is_purged_not_served() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let vdc = dna_with(3, &[&["boundscheck", "initializedlength"]], &[]);
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", vdc.clone());
+        let mut index = ComparatorIndex::new(IndexConfig::default());
+        index.ensure(&db);
+        let (clean, _) = index.query(&vdc, &cfg);
+        assert_eq!(*clean, vec![(0, vec![3])]);
+        index.poison();
+        // The poisoned generation stamp (0) can never match a real
+        // database generation, so ensure() must rebuild and purge.
+        let cost = index.ensure(&db);
+        assert!(cost > 0, "poisoned index must rebuild");
+        assert_eq!(index.stats().poison_purges, 1);
+        let (after, receipt) = index.query(&vdc, &cfg);
+        assert!(!receipt.cache_hit, "garbage verdicts must not be served");
+        assert_eq!(*after, *clean);
+        // A second ensure with no new poison is a no-op.
+        assert_eq!(index.ensure(&db), 0);
+        assert_eq!(index.stats().poison_purges, 1);
     }
 }

@@ -50,7 +50,7 @@ pub mod index;
 pub mod policy;
 
 pub use compare::{compare_chains, CompareConfig};
-pub use db::{DnaDatabase, VdcEntry};
+pub use db::{DnaDatabase, LoadMode, LoadReport, VdcEntry};
 pub use dna::{Chain, Dna, PassDelta};
 pub use error::DbError;
 pub use extract::{extract_delta, extract_dna};

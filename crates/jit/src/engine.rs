@@ -16,9 +16,11 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
 use jitbull::{decide, decide_observed, ComparatorMode, Decision, Guard};
+use jitbull_chaos::{FaultInjector, Quarantine};
 use jitbull_frontend::parse_program;
 use jitbull_mir::build_mir;
 use jitbull_telemetry::{Collector, Event, Tier};
@@ -83,6 +85,19 @@ pub struct EngineConfig {
     /// Which Δ-comparator implementation the guard uses (indexed by
     /// default; `Reference` runs the naive normative Algorithm 2 loop).
     pub comparator: ComparatorMode,
+    /// Chaos fault injector, threaded into the pipeline and the guard.
+    /// Disabled by default (zero overhead, zero cycle-model impact).
+    pub faults: FaultInjector,
+    /// Compilation watchdog: simulated-cycle budget for one function's
+    /// Ion compilation (all recompile rounds plus analysis included). On
+    /// expiry the charge is capped at the budget and the function is
+    /// pinned to interpreter-only execution. `None` = unbounded.
+    pub watchdog_budget: Option<u64>,
+    /// Shared strike list: a function whose compilation panics twice
+    /// (configurable) is pinned no-go instead of retrying forever. The
+    /// pool hands every worker the same list so quarantine survives
+    /// across requests.
+    pub quarantine: Quarantine,
 }
 
 impl Default for EngineConfig {
@@ -97,6 +112,9 @@ impl Default for EngineConfig {
             disabled_slots: std::collections::HashSet::new(),
             backend: Backend::default(),
             comparator: ComparatorMode::default(),
+            faults: FaultInjector::disabled(),
+            watchdog_budget: None,
+            quarantine: Quarantine::default(),
         }
     }
 }
@@ -152,6 +170,9 @@ struct FuncState {
     baseline: bool,
     ion: Option<Rc<CompiledTier>>,
     no_ion: bool,
+    /// Watchdog verdict: this function runs interpreter-only, no
+    /// baseline, no Ion, no further compile attempts.
+    pinned_interp: bool,
     disabled_slots: Vec<usize>,
     vulns_fired: Vec<String>,
     matched: Vec<(String, String)>,
@@ -166,6 +187,12 @@ pub struct Engine {
     /// Cycles spent in JITBULL analysis (reported separately for the
     /// overhead breakdowns).
     pub analysis_cycles: u64,
+    /// Ion compilations that failed without producing code (pass panic,
+    /// broken graph, watchdog expiry). The pool's circuit breaker feeds
+    /// on this count.
+    pub compile_failures: u64,
+    /// Watchdog expiries among those failures.
+    pub watchdog_expiries: u64,
     collector: Option<Rc<RefCell<dyn Collector>>>,
 }
 
@@ -177,6 +204,8 @@ impl Engine {
             guard: None,
             state: HashMap::new(),
             analysis_cycles: 0,
+            compile_failures: 0,
+            watchdog_expiries: 0,
             collector: None,
         }
     }
@@ -186,11 +215,14 @@ impl Engine {
     /// [`EngineConfig::comparator`], so the config knob is authoritative.
     pub fn with_guard(config: EngineConfig, mut guard: Guard) -> Self {
         guard.set_comparator_mode(config.comparator);
+        guard.set_fault_injector(config.faults.clone());
         Engine {
             config,
             guard: Some(guard),
             state: HashMap::new(),
             analysis_cycles: 0,
+            compile_failures: 0,
+            watchdog_expiries: 0,
             collector: None,
         }
     }
@@ -244,7 +276,9 @@ impl Engine {
             .map(|(fid, st)| FunctionStats {
                 name: module.function(*fid).name.clone(),
                 invocations: st.invocations,
-                tier: if st.no_ion {
+                tier: if st.pinned_interp {
+                    TierStats::Interpreter
+                } else if st.no_ion {
                     TierStats::NoIon
                 } else if st.ion.is_some() {
                     if st.disabled_slots.is_empty() {
@@ -288,7 +322,76 @@ impl Engine {
         self.state.values().filter(|s| s.no_ion).count()
     }
 
+    /// Watchdog expiry: charge the budget remainder (the watchdog bounds
+    /// the compile cost — that is its entire point), pin the function to
+    /// interpreter-only, and count the failure.
+    fn watchdog_expire(
+        &mut self,
+        rt: &mut Runtime,
+        func: FuncId,
+        name: &str,
+        matched: Vec<(String, String)>,
+        budget: u64,
+        spent: u64,
+    ) {
+        rt.add_cycles(budget.saturating_sub(spent));
+        self.compile_failures += 1;
+        self.watchdog_expiries += 1;
+        self.emit(|| Event::WatchdogExpired {
+            function: name.to_owned(),
+            budget,
+            spent: budget,
+        });
+        self.emit(|| Event::CompileFailed {
+            function: name.to_owned(),
+            cause: "watchdog",
+        });
+        let st = self.state.entry(func).or_default();
+        st.no_ion = true;
+        st.pinned_interp = true;
+        st.matched = matched;
+    }
+
+    /// A compilation panicked (chaos-injected or natural). The panic is
+    /// contained here: the function earns a quarantine strike and the
+    /// engine keeps serving. Below the strike threshold the next hot
+    /// invocation may retry; at the threshold the function is pinned
+    /// no-go.
+    fn compile_panicked(&mut self, func: FuncId, name: &str, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| payload.downcast_ref::<&str>().copied())
+            .unwrap_or("opaque panic");
+        if msg.contains("chaos:") {
+            self.emit(|| Event::ChaosInjected {
+                site: "pass_run",
+                fault: "pass_panic",
+            });
+        }
+        self.compile_failures += 1;
+        self.emit(|| Event::CompileFailed {
+            function: name.to_owned(),
+            cause: "panic",
+        });
+        let strikes = self.config.quarantine.strike(name);
+        if self.config.quarantine.is_quarantined(name) {
+            self.emit(|| Event::FunctionQuarantined {
+                function: name.to_owned(),
+                strikes,
+            });
+            self.state.entry(func).or_default().no_ion = true;
+        }
+    }
+
     fn compile_ion(&mut self, rt: &mut Runtime, module: &Module, func: FuncId) {
+        let name = module.function(func).name.clone();
+        // Quarantined functions are pinned no-go: their compilations keep
+        // blowing up, so we stop feeding them to the pipeline.
+        if self.config.quarantine.is_quarantined(&name) {
+            self.state.entry(func).or_default().no_ion = true;
+            return;
+        }
         let jitbull_active = self.guard.as_ref().map(Guard::enabled).unwrap_or(false);
         // JITBULL sits inside OptimizeMIR (paper §V), so every retry is
         // analyzed again: disabling one dangerous pass can unshadow a
@@ -297,6 +400,9 @@ impl Engine {
         // the disabled set only grows.
         let mut disabled: std::collections::HashSet<usize> = self.config.disabled_slots.clone();
         let mut matched: Vec<(String, String)> = Vec::new();
+        // Watchdog accounting: cycles charged for this function's whole
+        // compilation (every round, analysis included).
+        let mut spent = 0u64;
         for _round in 0..=N_SLOTS {
             self.emit(|| Event::CompileStarted {
                 function: module.function(func).name.clone(),
@@ -310,9 +416,31 @@ impl Engine {
                 trace: jitbull_active,
                 disabled_slots: disabled.clone(),
                 stats: self.collector.is_some(),
+                faults: self.config.faults.clone(),
             };
-            let result = optimize(mir, &self.config.vulns, &options);
-            rt.add_cycles(result.work * ION_COMPILE_COST);
+            let vulns = &self.config.vulns;
+            let result = match catch_unwind(AssertUnwindSafe(|| optimize(mir, vulns, &options))) {
+                Ok(result) => result,
+                Err(payload) => {
+                    self.compile_panicked(func, &name, payload.as_ref());
+                    return;
+                }
+            };
+            for &(fault, _slot) in &result.injected {
+                self.emit(|| Event::ChaosInjected {
+                    site: "pass_run",
+                    fault,
+                });
+            }
+            let round_cost = result.work * ION_COMPILE_COST;
+            if let Some(budget) = self.config.watchdog_budget {
+                if spent.saturating_add(round_cost) > budget {
+                    self.watchdog_expire(rt, func, &name, matched, budget, spent);
+                    return;
+                }
+            }
+            rt.add_cycles(round_cost);
+            spent += round_cost;
             if let Some(c) = &self.collector {
                 let mut col = c.borrow_mut();
                 for run in &result.slot_runs {
@@ -326,6 +454,11 @@ impl Engine {
                 }
             }
             if result.broken.is_some() {
+                self.compile_failures += 1;
+                self.emit(|| Event::CompileFailed {
+                    function: name.clone(),
+                    cause: "broken",
+                });
                 self.state.entry(func).or_default().no_ion = true;
                 return;
             }
@@ -351,7 +484,14 @@ impl Engine {
                 Some(c) => guard.analyze_observed(&result.trace, N_SLOTS, &mut *c.borrow_mut()),
                 None => guard.analyze(&result.trace, N_SLOTS),
             };
+            if let Some(budget) = self.config.watchdog_budget {
+                if spent.saturating_add(analysis.cost_cycles) > budget {
+                    self.watchdog_expire(rt, func, &name, matched, budget, spent);
+                    return;
+                }
+            }
             rt.add_cycles(analysis.cost_cycles);
+            spent += analysis.cost_cycles;
             self.analysis_cycles += analysis.cost_cycles;
             for (cve, function, _) in &analysis.matches {
                 let entry = (cve.clone(), function.clone());
@@ -485,6 +625,8 @@ impl Engine {
             nr_disjit: self.nr_disjit(),
             nr_nojit: self.nr_nojit(),
             analysis_cycles: self.analysis_cycles,
+            compile_failures: self.compile_failures,
+            watchdog_expiries: self.watchdog_expiries,
         })
     }
 }
@@ -504,6 +646,11 @@ pub struct EngineOutcome {
     pub nr_nojit: usize,
     /// Cycles spent in JITBULL analysis.
     pub analysis_cycles: u64,
+    /// Ion compilations that failed without producing code (panic,
+    /// broken graph, watchdog expiry).
+    pub compile_failures: u64,
+    /// Watchdog expiries among those failures.
+    pub watchdog_expiries: u64,
 }
 
 impl Dispatcher for Engine {
@@ -519,7 +666,7 @@ impl Dispatcher for Engine {
             let st = self.state.entry(func).or_default();
             st.invocations += 1;
             let inv = st.invocations;
-            if self.config.jit_enabled {
+            if self.config.jit_enabled && !st.pinned_interp {
                 let mut promoted_baseline = false;
                 if !st.baseline && inv >= self.config.baseline_threshold {
                     st.baseline = true;
@@ -545,10 +692,16 @@ impl Dispatcher for Engine {
                 }
             }
             let st = self.state.entry(func).or_default();
-            match (&st.ion, st.baseline) {
-                (Some(code), _) => (Some(Rc::clone(code)), 0),
-                (None, true) => (None, BASELINE_COST),
-                (None, false) => (None, INTERP_COST),
+            if st.pinned_interp {
+                // Watchdog verdict: interpreter-only, whatever tiers the
+                // function had reached before.
+                (None, INTERP_COST)
+            } else {
+                match (&st.ion, st.baseline) {
+                    (Some(code), _) => (Some(Rc::clone(code)), 0),
+                    (None, true) => (None, BASELINE_COST),
+                    (None, false) => (None, INTERP_COST),
+                }
             }
         };
         match tier_code {

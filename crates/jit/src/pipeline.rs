@@ -4,6 +4,7 @@
 
 use std::collections::HashSet;
 
+use jitbull_chaos::{FaultInjector, FaultKind, FaultSite};
 use jitbull_mir::{MirFunction, PassRecord, PassTrace};
 
 use crate::passes::{self, PassContext};
@@ -249,6 +250,10 @@ pub struct OptimizeOptions {
     /// Record per-slot instruction counts and work units (telemetry). Off
     /// by default, so unobserved compilations do no extra bookkeeping.
     pub stats: bool,
+    /// Chaos injector consulted once per executed slot
+    /// ([`FaultSite::PassRun`]). Disabled by default: a single pointer
+    /// test per slot, no cycle-model impact.
+    pub faults: FaultInjector,
 }
 
 /// Measurements for one executed slot, captured when
@@ -285,6 +290,9 @@ pub struct OptimizeResult {
     /// Per-slot measurements (empty when [`OptimizeOptions::stats`] was
     /// off).
     pub slot_runs: Vec<SlotRun>,
+    /// Chaos faults injected during this run, as `(kind name, slot)`.
+    /// `PassPanic` never appears here — it unwinds instead of returning.
+    pub injected: Vec<(&'static str, usize)>,
 }
 
 /// Runs the optimization pipeline over `mir`.
@@ -300,9 +308,26 @@ pub fn optimize(
     };
     let mut work = 0u64;
     let mut slot_runs = Vec::new();
+    let mut injected = Vec::new();
     for (index, slot) in PIPELINE.iter().enumerate() {
         if options.disabled_slots.contains(&index) && slot.disableable {
             continue;
+        }
+        let mut stall_work = 0u64;
+        let mut corrupt = false;
+        match options.faults.fire(FaultSite::PassRun) {
+            Some(FaultKind::PassPanic) => {
+                panic!("chaos: injected pass panic at slot {index} ({})", slot.name)
+            }
+            Some(FaultKind::PassStall { extra_work }) => {
+                stall_work = extra_work;
+                injected.push(("pass_stall", index));
+            }
+            Some(FaultKind::IrCorrupt) => {
+                corrupt = true;
+                injected.push(("ir_corrupt", index));
+            }
+            _ => {}
         }
         let before = if options.trace {
             Some(mir.snapshot())
@@ -310,16 +335,19 @@ pub fn optimize(
             None
         };
         let count_before = mir.instr_count() as u64;
-        work += count_before;
+        work += count_before + stall_work;
         (slot.run)(&mut mir, &mut cx);
         vuln::apply_vulnerabilities(index, &mut mir, &mut cx);
+        if corrupt {
+            cx.broken = Some(format!("chaos: injected IR corruption at slot {index}"));
+        }
         if options.stats {
             slot_runs.push(SlotRun {
                 slot: index,
                 name: slot.name,
                 instrs_before: count_before,
                 instrs_after: mir.instr_count() as u64,
-                work: count_before,
+                work: count_before + stall_work,
             });
         }
         if let Some(before) = before {
@@ -341,6 +369,7 @@ pub fn optimize(
         broken: cx.broken,
         work,
         slot_runs,
+        injected,
     }
 }
 
@@ -514,6 +543,106 @@ mod tests {
         // Stats off: no bookkeeping at all.
         let again = optimize(result.mir, &VulnConfig::none(), &OptimizeOptions::default());
         assert!(again.slot_runs.is_empty());
+    }
+
+    #[test]
+    fn chaos_stall_inflates_work_deterministically() {
+        use jitbull_chaos::FaultPlan;
+        let base = optimize(
+            mir_of("function f(a, i) { return a[i] + a[i]; }", "f"),
+            &VulnConfig::none(),
+            &OptimizeOptions::default(),
+        );
+        let faults = FaultInjector::from_plan(FaultPlan::new(1).script(
+            FaultSite::PassRun,
+            FaultKind::PassStall { extra_work: 10_000 },
+            3,
+            1,
+        ));
+        let stalled = optimize(
+            mir_of("function f(a, i) { return a[i] + a[i]; }", "f"),
+            &VulnConfig::none(),
+            &OptimizeOptions {
+                faults,
+                ..Default::default()
+            },
+        );
+        assert_eq!(stalled.work, base.work + 10_000);
+        assert_eq!(stalled.injected, vec![("pass_stall", 3)]);
+        assert!(stalled.broken.is_none());
+    }
+
+    #[test]
+    fn chaos_corruption_breaks_the_graph_at_the_faulted_slot() {
+        let faults = FaultInjector::from_plan(jitbull_chaos::FaultPlan::new(2).script(
+            FaultSite::PassRun,
+            FaultKind::IrCorrupt,
+            5,
+            1,
+        ));
+        let result = optimize(
+            mir_of("function f(a, i) { return a[i] + a[i]; }", "f"),
+            &VulnConfig::none(),
+            &OptimizeOptions {
+                faults,
+                ..Default::default()
+            },
+        );
+        let broken = result.broken.expect("corruption must break the graph");
+        assert!(broken.contains("chaos"), "{broken}");
+        assert_eq!(result.injected, vec![("ir_corrupt", 5)]);
+    }
+
+    #[test]
+    fn chaos_panic_unwinds_out_of_the_pipeline() {
+        let faults = FaultInjector::from_plan(jitbull_chaos::FaultPlan::new(3).script(
+            FaultSite::PassRun,
+            FaultKind::PassPanic,
+            0,
+            1,
+        ));
+        let mir = mir_of("function f(a) { return a + 1; }", "f");
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            optimize(
+                mir,
+                &VulnConfig::none(),
+                &OptimizeOptions {
+                    faults,
+                    ..Default::default()
+                },
+            )
+        }))
+        .expect_err("scripted panic must unwind");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("chaos: injected pass panic"), "{msg}");
+    }
+
+    #[test]
+    fn disabled_injector_changes_nothing() {
+        let base = optimize(
+            mir_of("function f(a, b) { return (a + b) * (a + b); }", "f"),
+            &VulnConfig::none(),
+            &OptimizeOptions::default(),
+        );
+        // An armed injector whose plan never matches must be
+        // indistinguishable too (the no-fault-overhead guarantee).
+        let armed_idle = FaultInjector::from_plan(jitbull_chaos::FaultPlan::new(9).script(
+            FaultSite::PassRun,
+            FaultKind::PassPanic,
+            u64::MAX,
+            0,
+        ));
+        let idle = optimize(
+            mir_of("function f(a, b) { return (a + b) * (a + b); }", "f"),
+            &VulnConfig::none(),
+            &OptimizeOptions {
+                faults: armed_idle,
+                ..Default::default()
+            },
+        );
+        assert_eq!(idle.work, base.work);
+        assert!(idle.injected.is_empty());
+        assert_eq!(idle.mir.instr_count(), base.mir.instr_count());
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //! path, database hot-swap publishing, and lifecycle management.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use jitbull::{CompareConfig, DbError, Dna, DnaDatabase};
+use jitbull::{CompareConfig, DbError, Dna, DnaDatabase, LoadMode, LoadReport};
+use jitbull_chaos::retry::{retry_with, RetryPolicy};
+use jitbull_chaos::{BreakerConfig, BreakerStats, CircuitBreaker, FaultInjector, Quarantine};
 use jitbull_jit::engine::EngineConfig;
 use jitbull_telemetry::{Collector, Event};
 
@@ -28,6 +30,14 @@ pub struct PoolConfig {
     pub capacity: usize,
     /// Δ-comparator thresholds shared by every worker's guard.
     pub compare: CompareConfig,
+    /// Fault injector threaded through every worker (dequeue hook, the
+    /// engine's pipeline, the guard's comparator) and the reload path.
+    /// Disabled by default — zero overhead.
+    pub faults: FaultInjector,
+    /// JIT circuit-breaker tuning. The default window/threshold tolerate
+    /// isolated compilation failures; a genuine failure burst trips
+    /// engine-wide interpreter degradation until a probe succeeds.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for PoolConfig {
@@ -36,6 +46,8 @@ impl Default for PoolConfig {
             workers: 4,
             capacity: 64,
             compare: CompareConfig::default(),
+            faults: FaultInjector::disabled(),
+            breaker: BreakerConfig::default(),
         }
     }
 }
@@ -123,6 +135,12 @@ pub struct PoolResponse {
     pub wait_micros: u64,
     /// Microseconds the worker spent executing.
     pub run_micros: u64,
+    /// Whether the run was degraded to interpreter-only because the JIT
+    /// circuit breaker was open (subset of `degraded`).
+    pub breaker_degraded: bool,
+    /// Compilations this run abandoned (panic, broken graph, or watchdog
+    /// expiry) — each recovered by per-function fallback.
+    pub compile_failures: u64,
 }
 
 /// One-shot response slot shared between a [`Ticket`] and the worker-side
@@ -231,6 +249,8 @@ pub(crate) struct StatsInner {
     pub(crate) rejected: AtomicU64,
     pub(crate) served: AtomicU64,
     pub(crate) degraded: AtomicU64,
+    pub(crate) breaker_degraded: AtomicU64,
+    pub(crate) compile_failures: AtomicU64,
     pub(crate) worker_restarts: AtomicU64,
     pub(crate) hotswaps: AtomicU64,
     /// Simulated busy cycles per worker (index = worker).
@@ -248,6 +268,12 @@ pub struct PoolStats {
     pub served: u64,
     /// Served requests that fell back to interpreter-only execution.
     pub degraded: u64,
+    /// Degradations forced by the open JIT circuit breaker (subset of
+    /// `degraded`).
+    pub breaker_degraded: u64,
+    /// Compilations abandoned across all workers (panic / broken graph /
+    /// watchdog), each recovered by per-function fallback.
+    pub compile_failures: u64,
     /// Worker panics recovered by respawn.
     pub worker_restarts: u64,
     /// Database snapshots published.
@@ -287,6 +313,16 @@ pub struct Pool {
     master: Mutex<DnaDatabase>,
     stats: Arc<StatsInner>,
     collector: Option<SharedCollector>,
+    /// Shared per-pool fault injector (clones in every worker).
+    faults: FaultInjector,
+    /// Engine-wide JIT circuit breaker shared by every worker.
+    breaker: CircuitBreaker,
+    /// Pool-wide function quarantine, surviving worker respawns.
+    quarantine: Quarantine,
+    /// Graceful-drain deadline: set once by
+    /// [`Pool::shutdown_with_deadline`]; workers serve remaining queued
+    /// requests interpreter-only after it lapses.
+    drain_by: Arc<OnceLock<Instant>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -311,6 +347,9 @@ impl Pool {
             worker_cycles: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             ..Default::default()
         });
+        let breaker = CircuitBreaker::new(config.breaker);
+        let quarantine = Quarantine::default();
+        let drain_by = Arc::new(OnceLock::new());
         let handles = (0..workers)
             .map(|ix| {
                 let ctx = worker::WorkerCtx {
@@ -320,6 +359,10 @@ impl Pool {
                     stats: Arc::clone(&stats),
                     collector: collector.clone(),
                     compare: config.compare,
+                    faults: config.faults.clone(),
+                    breaker: breaker.clone(),
+                    quarantine: quarantine.clone(),
+                    drain_by: Arc::clone(&drain_by),
                 };
                 std::thread::Builder::new()
                     .name(format!("jitbull-pool-worker-{ix}"))
@@ -333,6 +376,10 @@ impl Pool {
             master: Mutex::new(db),
             stats,
             collector,
+            faults: config.faults,
+            breaker,
+            quarantine,
+            drain_by,
             handles,
         }
     }
@@ -435,6 +482,70 @@ impl Pool {
         }
     }
 
+    /// [`Pool::reload_from_text`] hardened for transient faults: parses
+    /// through the pool's fault injector and retries with seeded
+    /// exponential backoff. The swap is all-or-nothing — a partial or
+    /// failed parse never publishes, so the previous snapshot keeps
+    /// serving through every retry and past final failure. Each retry is
+    /// recorded as an [`Event::ReloadRetry`]; a success that needed
+    /// retries as an [`Event::ReloadRecovered`].
+    ///
+    /// Returns the publication epoch and the [`LoadReport`] (non-empty
+    /// warnings only under [`LoadMode::Partial`]).
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's [`DbError`] once the policy's attempts are
+    /// exhausted (also recorded as [`Event::PoolReloadFailed`]).
+    pub fn reload_with_retry(
+        &self,
+        text: &str,
+        n_slots: usize,
+        mode: LoadMode,
+        policy: &RetryPolicy,
+    ) -> Result<(u64, LoadReport), DbError> {
+        let (result, retries) = retry_with(
+            policy,
+            |_| DnaDatabase::from_text_faulted(text, n_slots, mode, &self.faults),
+            |attempt, backoff_micros, err: &DbError| {
+                self.record(Event::ReloadRetry {
+                    attempt,
+                    backoff_micros,
+                    kind: err.kind(),
+                });
+            },
+        );
+        match result {
+            Ok((db, report)) => {
+                let mut master = self.master.lock().unwrap_or_else(|e| e.into_inner());
+                *master = db;
+                let epoch = self.publish_master(&master);
+                if retries.attempts > 1 {
+                    self.record(Event::ReloadRecovered {
+                        attempts: retries.attempts,
+                    });
+                }
+                Ok((epoch, report))
+            }
+            Err(e) => {
+                self.record(Event::PoolReloadFailed { kind: e.kind() });
+                Err(e)
+            }
+        }
+    }
+
+    /// A snapshot of the shared JIT circuit breaker's health.
+    #[must_use]
+    pub fn breaker_stats(&self) -> BreakerStats {
+        self.breaker.stats()
+    }
+
+    /// Functions pinned no-go by the pool-wide quarantine, sorted.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<String> {
+        self.quarantine.quarantined()
+    }
+
     /// The currently published `(epoch, snapshot)` pair.
     #[must_use]
     pub fn published(&self) -> (u64, Arc<DnaDatabase>) {
@@ -461,6 +572,8 @@ impl Pool {
             rejected: self.stats.rejected.load(Ordering::Relaxed),
             served: self.stats.served.load(Ordering::Relaxed),
             degraded: self.stats.degraded.load(Ordering::Relaxed),
+            breaker_degraded: self.stats.breaker_degraded.load(Ordering::Relaxed),
+            compile_failures: self.stats.compile_failures.load(Ordering::Relaxed),
             worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
             hotswaps: self.stats.hotswaps.load(Ordering::Relaxed),
             worker_cycles: self
@@ -480,6 +593,16 @@ impl Pool {
             let _ = h.join();
         }
         self.stats()
+    }
+
+    /// Graceful drain: stops accepting, serves already-queued requests
+    /// normally until `deadline` from now, and resolves whatever is
+    /// still queued after that as interpreter-only (degraded) responses.
+    /// No accepted ticket is ever dropped — late requests get a correct,
+    /// cheaper answer instead of an error.
+    pub fn shutdown_with_deadline(self, deadline: Duration) -> PoolStats {
+        let _ = self.drain_by.set(Instant::now() + deadline);
+        self.shutdown()
     }
 }
 

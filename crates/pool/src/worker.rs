@@ -2,14 +2,17 @@
 //! execute → respond. Panics are isolated per worker and recovered by an
 //! in-thread supervisor that rebuilds the worker's state from scratch.
 
+use std::cell::RefCell;
 use std::panic::AssertUnwindSafe;
+use std::rc::Rc;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use jitbull::{CompareConfig, DnaDatabase, Guard};
+use jitbull_chaos::{CircuitBreaker, FaultInjector, FaultKind, FaultSite, Quarantine};
 use jitbull_jit::engine::Engine;
-use jitbull_telemetry::Event;
+use jitbull_telemetry::{Collector, Event};
 
 use crate::error::PoolError;
 use crate::pool::{Job, PoolResponse, SharedCollector, StatsInner};
@@ -24,6 +27,25 @@ pub(crate) struct WorkerCtx {
     pub(crate) stats: Arc<StatsInner>,
     pub(crate) collector: Option<SharedCollector>,
     pub(crate) compare: CompareConfig,
+    pub(crate) faults: FaultInjector,
+    pub(crate) breaker: CircuitBreaker,
+    pub(crate) quarantine: Quarantine,
+    pub(crate) drain_by: Arc<OnceLock<Instant>>,
+}
+
+/// Adapts the pool's `Arc<Mutex<_>>` shared collector to the engine's
+/// thread-local `Rc<RefCell<dyn Collector>>` slot, so engine-level
+/// recovery events (watchdog expiries, quarantines, injected faults)
+/// surface in the pool's recorder.
+struct Forward(SharedCollector);
+
+impl Collector for Forward {
+    fn record(&mut self, event: Event) {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(event);
+    }
 }
 
 impl WorkerCtx {
@@ -89,8 +111,22 @@ fn serve(ctx: &WorkerCtx, state: &mut WorkerState, job: Job) {
     }
     debug_assert!(state.epoch >= min_epoch, "epoch ran backwards");
 
+    // Chaos hook: one occurrence per dequeued request.
+    let mut chaos_blowout = false;
+    match ctx.faults.fire(FaultSite::WorkerServe) {
+        Some(FaultKind::WorkerPanic) => {
+            // Unwind through the supervisor; the responder's drop
+            // resolves the ticket with `PoolError::Panicked`.
+            panic!("chaos: injected worker panic");
+        }
+        Some(FaultKind::DeadlineBlowout) => chaos_blowout = true,
+        _ => {}
+    }
+
     let wait = enqueued_at.elapsed();
-    let degraded = request.deadline.is_some_and(|d| wait >= d);
+    let drain_lapsed = ctx.drain_by.get().is_some_and(|by| Instant::now() >= *by);
+    let deadline_degraded =
+        request.deadline.is_some_and(|d| wait >= d) || chaos_blowout || drain_lapsed;
 
     if request.chaos_panic {
         // Fault injection: unwind through the supervisor. `request` (and
@@ -99,12 +135,24 @@ fn serve(ctx: &WorkerCtx, state: &mut WorkerState, job: Job) {
     }
 
     let mut config = request.config;
+    // Thread the pool-wide chaos/recovery state through the engine: the
+    // injector reaches the pipeline and comparator, and quarantine
+    // strikes accumulate across requests and worker respawns.
+    config.faults = ctx.faults.clone();
+    config.quarantine = ctx.quarantine.clone();
+
+    // Circuit breaker: an open breaker degrades the run engine-wide; a
+    // half-open one lets exactly one probe compile.
+    let permit = ctx.breaker.admit();
+    let breaker_degraded = config.jit_enabled && !deadline_degraded && !permit.jit_allowed();
+    let degraded = deadline_degraded || breaker_degraded;
     if degraded {
         // Graceful degradation — the paper's no-JIT scenario generalized
         // to load shedding: a late request still gets a correct answer,
         // just from the (cheap-to-enter) interpreter.
         config.jit_enabled = false;
     }
+    let jit_ran = config.jit_enabled;
 
     let db = Arc::clone(state.db.as_ref().expect("snapshot loaded"));
     let guard = state
@@ -112,16 +160,39 @@ fn serve(ctx: &WorkerCtx, state: &mut WorkerState, job: Job) {
         .take()
         .unwrap_or_else(|| Guard::with_comparator((*db).clone(), ctx.compare, config.comparator));
     let mut engine = Engine::with_guard(config, guard);
+    if let Some(shared) = &ctx.collector {
+        engine.set_collector(Rc::new(RefCell::new(Forward(Arc::clone(shared)))));
+    }
     let started = Instant::now();
     let result = engine.run_source_with(&request.source);
     let run_micros = started.elapsed().as_micros() as u64;
+    let compile_failures = engine.compile_failures;
     // Keep the warm guard for the next request on this snapshot.
     state.guard = engine.into_guard();
 
+    // Close the breaker loop: a JIT-enabled run reports its compilation
+    // health; a degraded run says nothing about it, so its permit is
+    // cancelled (freeing a wedged probe slot rather than faking a
+    // verdict).
+    if jit_ran {
+        permit.report(compile_failures > 0);
+    } else {
+        permit.cancel();
+    }
+    for (from, to) in ctx.breaker.drain_transitions() {
+        ctx.record(Event::BreakerTransition { from, to });
+    }
+
     let wait_micros = wait.as_micros() as u64;
     ctx.stats.served.fetch_add(1, Ordering::Relaxed);
+    ctx.stats
+        .compile_failures
+        .fetch_add(compile_failures, Ordering::Relaxed);
     if degraded {
         ctx.stats.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+    if breaker_degraded {
+        ctx.stats.breaker_degraded.fetch_add(1, Ordering::Relaxed);
     }
     ctx.record(Event::PoolServed {
         worker: ctx.index,
@@ -155,6 +226,8 @@ fn serve(ctx: &WorkerCtx, state: &mut WorkerState, job: Job) {
                 matched_cves,
                 wait_micros,
                 run_micros,
+                breaker_degraded,
+                compile_failures,
             }));
         }
         Err(e) => responder.send(Err(PoolError::Script(e.to_string()))),

@@ -179,6 +179,68 @@ pub enum Event {
         /// Stable failure label (`DbError::kind`: `"io"` / `"parse"`).
         kind: &'static str,
     },
+    /// The chaos layer injected one fault (armed runs only; a disabled
+    /// injector emits nothing).
+    ChaosInjected {
+        /// Injection site name (`FaultSite::name`).
+        site: &'static str,
+        /// Fault kind name (`FaultKind::name`).
+        fault: &'static str,
+    },
+    /// The compilation watchdog expired: the function fell back to
+    /// interpreter-only execution and the remaining compile work was
+    /// abandoned.
+    WatchdogExpired {
+        /// Function whose compilation was cut off.
+        function: String,
+        /// The configured cycle budget.
+        budget: u64,
+        /// Simulated cycles actually charged (capped at the budget).
+        spent: u64,
+    },
+    /// One Ion compilation failed without producing optimized code.
+    CompileFailed {
+        /// Function that failed to compile.
+        function: String,
+        /// Stable failure label: `"panic"`, `"broken"`, or `"watchdog"`.
+        cause: &'static str,
+    },
+    /// A function crossed the quarantine strike threshold and is now
+    /// pinned no-go.
+    FunctionQuarantined {
+        /// The quarantined function.
+        function: String,
+        /// Strikes accumulated when quarantine triggered.
+        strikes: u32,
+    },
+    /// The pool's JIT circuit breaker changed state.
+    BreakerTransition {
+        /// State left (`"closed"` / `"open"` / `"half_open"`).
+        from: &'static str,
+        /// State entered.
+        to: &'static str,
+    },
+    /// A database reload attempt failed and will be retried after a
+    /// backoff.
+    ReloadRetry {
+        /// The attempt that failed (1-based).
+        attempt: u32,
+        /// Microseconds backed off before the next attempt.
+        backoff_micros: u64,
+        /// Failure label (`DbError::kind`: `"io"` / `"parse"`).
+        kind: &'static str,
+    },
+    /// A retried database reload eventually succeeded and was published.
+    ReloadRecovered {
+        /// Attempts it took (≥ 2; first-try successes emit nothing).
+        attempts: u32,
+    },
+    /// The comparator detected a poisoned verdict cache (torn generation
+    /// stamp) and discarded it via a full index rebuild.
+    CachePoisonPurged {
+        /// Index rebuilds performed so far, purges included.
+        rebuilds: u64,
+    },
     /// One iteration of the fuzzer's install-until-neutralized triage loop.
     TriageRound {
         /// The find's seed.
@@ -212,6 +274,14 @@ impl Event {
             Event::PoolHotSwap { .. } => "pool_hotswap",
             Event::PoolWorkerRestarted { .. } => "pool_worker_restarted",
             Event::PoolReloadFailed { .. } => "pool_reload_failed",
+            Event::ChaosInjected { .. } => "chaos_injected",
+            Event::WatchdogExpired { .. } => "watchdog_expired",
+            Event::CompileFailed { .. } => "compile_failed",
+            Event::FunctionQuarantined { .. } => "function_quarantined",
+            Event::BreakerTransition { .. } => "breaker_transition",
+            Event::ReloadRetry { .. } => "reload_retry",
+            Event::ReloadRecovered { .. } => "reload_recovered",
+            Event::CachePoisonPurged { .. } => "cache_poison_purged",
             Event::TriageRound { .. } => "triage_round",
         }
     }

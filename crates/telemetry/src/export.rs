@@ -158,6 +158,34 @@ fn event_line(ev: &Event) -> String {
             format!("pool_worker_restarted worker={worker}")
         }
         Event::PoolReloadFailed { kind } => format!("pool_reload_failed kind={kind}"),
+        Event::ChaosInjected { site, fault } => {
+            format!("chaos_injected   site={site} fault={fault}")
+        }
+        Event::WatchdogExpired {
+            function,
+            budget,
+            spent,
+        } => format!("watchdog_expired fn={function} budget={budget} spent={spent}"),
+        Event::CompileFailed { function, cause } => {
+            format!("compile_failed   fn={function} cause={cause}")
+        }
+        Event::FunctionQuarantined { function, strikes } => {
+            format!("quarantined      fn={function} strikes={strikes}")
+        }
+        Event::BreakerTransition { from, to } => {
+            format!("breaker          {from} -> {to}")
+        }
+        Event::ReloadRetry {
+            attempt,
+            backoff_micros,
+            kind,
+        } => format!("reload_retry     attempt={attempt} backoff_us={backoff_micros} kind={kind}"),
+        Event::ReloadRecovered { attempts } => {
+            format!("reload_recovered attempts={attempts}")
+        }
+        Event::CachePoisonPurged { rebuilds } => {
+            format!("cache_poison_purged rebuilds={rebuilds}")
+        }
         Event::TriageRound {
             seed,
             round,
@@ -311,6 +339,55 @@ fn push_event_json(out: &mut String, ev: &Event) {
         Event::PoolReloadFailed { kind } => {
             out.push_str(",\"kind\":");
             push_json_str(out, kind);
+        }
+        Event::ChaosInjected { site, fault } => {
+            out.push_str(",\"site\":");
+            push_json_str(out, site);
+            out.push_str(",\"fault\":");
+            push_json_str(out, fault);
+        }
+        Event::WatchdogExpired {
+            function,
+            budget,
+            spent,
+        } => {
+            out.push_str(",\"function\":");
+            push_json_str(out, function);
+            let _ = write!(out, ",\"budget\":{budget},\"spent\":{spent}");
+        }
+        Event::CompileFailed { function, cause } => {
+            out.push_str(",\"function\":");
+            push_json_str(out, function);
+            out.push_str(",\"cause\":");
+            push_json_str(out, cause);
+        }
+        Event::FunctionQuarantined { function, strikes } => {
+            out.push_str(",\"function\":");
+            push_json_str(out, function);
+            let _ = write!(out, ",\"strikes\":{strikes}");
+        }
+        Event::BreakerTransition { from, to } => {
+            out.push_str(",\"from\":");
+            push_json_str(out, from);
+            out.push_str(",\"to\":");
+            push_json_str(out, to);
+        }
+        Event::ReloadRetry {
+            attempt,
+            backoff_micros,
+            kind,
+        } => {
+            let _ = write!(
+                out,
+                ",\"attempt\":{attempt},\"backoff_micros\":{backoff_micros},\"kind\":"
+            );
+            push_json_str(out, kind);
+        }
+        Event::ReloadRecovered { attempts } => {
+            let _ = write!(out, ",\"attempts\":{attempts}");
+        }
+        Event::CachePoisonPurged { rebuilds } => {
+            let _ = write!(out, ",\"rebuilds\":{rebuilds}");
         }
         Event::TriageRound {
             seed,

@@ -267,6 +267,51 @@ impl Recorder {
                 self.metrics
                     .counter_inc(&format!("pool.reload_failed.{kind}"));
             }
+            Event::ChaosInjected { site, fault } => {
+                self.metrics.counter_inc("chaos.injected");
+                self.metrics.counter_inc(&format!("chaos.injected.{fault}"));
+                self.metrics.counter_inc(&format!("chaos.site.{site}"));
+            }
+            Event::WatchdogExpired { budget, spent, .. } => {
+                self.metrics.counter_inc("recovery.watchdog_expired");
+                self.metrics
+                    .gauge_set("recovery.watchdog_budget", *budget as i64);
+                self.metrics.observe("recovery.watchdog_spent", *spent);
+            }
+            Event::CompileFailed { cause, .. } => {
+                self.metrics.counter_inc("recovery.compile_failed");
+                self.metrics
+                    .counter_inc(&format!("recovery.compile_failed.{cause}"));
+            }
+            Event::FunctionQuarantined { .. } => {
+                self.metrics.counter_inc("recovery.quarantined");
+            }
+            Event::BreakerTransition { to, .. } => {
+                self.metrics
+                    .counter_inc(&format!("recovery.breaker_to.{to}"));
+                match *to {
+                    "open" => self.metrics.counter_inc("recovery.breaker_trips"),
+                    "closed" => self.metrics.counter_inc("recovery.breaker_rearms"),
+                    _ => self.metrics.counter_inc("recovery.breaker_probes"),
+                }
+            }
+            Event::ReloadRetry {
+                backoff_micros,
+                kind,
+                ..
+            } => {
+                self.metrics.counter_inc("recovery.reload_retries");
+                self.metrics
+                    .counter_inc(&format!("recovery.reload_retries.{kind}"));
+                self.metrics
+                    .observe("recovery.reload_backoff_us", *backoff_micros);
+            }
+            Event::ReloadRecovered { .. } => {
+                self.metrics.counter_inc("recovery.reload_recovered");
+            }
+            Event::CachePoisonPurged { .. } => {
+                self.metrics.counter_inc("recovery.cache_poison_purged");
+            }
             Event::TriageRound { neutralized, .. } => {
                 self.metrics.counter_inc("triage.rounds");
                 if *neutralized {
@@ -369,6 +414,69 @@ mod tests {
         assert_eq!(m.gauge("pool.db_epoch"), Some(2));
         assert_eq!(m.histogram("pool.wait_us").unwrap().count(), 2);
         assert_eq!(m.histogram("pool.service_us").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn chaos_and_recovery_events_aggregate() {
+        let mut rec = Recorder::new();
+        rec.record(Event::ChaosInjected {
+            site: "pass_run",
+            fault: "pass_panic",
+        });
+        rec.record(Event::ChaosInjected {
+            site: "db_load",
+            fault: "db_io",
+        });
+        rec.record(Event::WatchdogExpired {
+            function: "hot".into(),
+            budget: 5_000,
+            spent: 5_000,
+        });
+        rec.record(Event::CompileFailed {
+            function: "hot".into(),
+            cause: "panic",
+        });
+        rec.record(Event::FunctionQuarantined {
+            function: "hot".into(),
+            strikes: 2,
+        });
+        rec.record(Event::BreakerTransition {
+            from: "closed",
+            to: "open",
+        });
+        rec.record(Event::BreakerTransition {
+            from: "open",
+            to: "half_open",
+        });
+        rec.record(Event::BreakerTransition {
+            from: "half_open",
+            to: "closed",
+        });
+        rec.record(Event::ReloadRetry {
+            attempt: 1,
+            backoff_micros: 120,
+            kind: "io",
+        });
+        rec.record(Event::ReloadRecovered { attempts: 2 });
+        rec.record(Event::CachePoisonPurged { rebuilds: 2 });
+        let m = rec.metrics();
+        assert_eq!(m.counter("chaos.injected"), 2);
+        assert_eq!(m.counter("chaos.injected.pass_panic"), 1);
+        assert_eq!(m.counter("chaos.site.db_load"), 1);
+        assert_eq!(m.counter("recovery.watchdog_expired"), 1);
+        assert_eq!(m.counter("recovery.compile_failed.panic"), 1);
+        assert_eq!(m.counter("recovery.quarantined"), 1);
+        assert_eq!(m.counter("recovery.breaker_trips"), 1);
+        assert_eq!(m.counter("recovery.breaker_probes"), 1);
+        assert_eq!(m.counter("recovery.breaker_rearms"), 1);
+        assert_eq!(m.counter("recovery.reload_retries.io"), 1);
+        assert_eq!(m.counter("recovery.reload_recovered"), 1);
+        assert_eq!(m.counter("recovery.cache_poison_purged"), 1);
+        assert_eq!(m.gauge("recovery.watchdog_budget"), Some(5_000));
+        assert_eq!(
+            m.histogram("recovery.reload_backoff_us").unwrap().count(),
+            1
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn config(workers: usize, capacity: usize) -> PoolConfig {
         workers,
         capacity,
         compare: PERMISSIVE,
+        ..PoolConfig::default()
     }
 }
 
