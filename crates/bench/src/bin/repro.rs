@@ -178,6 +178,15 @@ fn observability() {
             reference as f64 / indexed.max(1) as f64
         );
     }
+    println!("\nextractor cost, naive (reference) vs incremental, analysis cycles (#4 VDCs):\n");
+    for w in &workloads {
+        let (reference, incremental) = obs::extractor_cycles(w, 4);
+        println!(
+            "  {:<14} {reference} -> {incremental} ({:.1}x)",
+            w.name,
+            reference as f64 / incremental.max(1) as f64
+        );
+    }
 
     // Recovery telemetry: run the deterministic fault ladder and surface
     // the chaos.* / recovery.* counters it produced.

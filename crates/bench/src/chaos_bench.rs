@@ -304,6 +304,7 @@ fn breaker_rung(seed: u64, rec: &Arc<Mutex<Recorder>>) -> (LadderStep, ChaosTall
                 threshold: 2,
                 cooldown: 3,
             },
+            ..PoolConfig::default()
         },
         DnaDatabase::new(),
         Arc::clone(rec) as SharedCollector,
@@ -364,6 +365,7 @@ fn reload_rung(seed: u64, rec: &Arc<Mutex<Recorder>>) -> (LadderStep, ChaosTally
             compare: PERMISSIVE,
             faults: inj.clone(),
             breaker: BreakerConfig::default(),
+            ..PoolConfig::default()
         },
         DnaDatabase::new(),
         Arc::clone(rec) as SharedCollector,
@@ -522,6 +524,7 @@ fn worker_rung(seed: u64, rec: &Arc<Mutex<Recorder>>) -> (LadderStep, ChaosTally
             compare: CompareConfig::default(),
             faults: inj.clone(),
             breaker: BreakerConfig::default(),
+            ..PoolConfig::default()
         },
         DnaDatabase::new(),
         Arc::clone(rec) as SharedCollector,
@@ -569,6 +572,7 @@ fn drain_rung(rec: &Arc<Mutex<Recorder>>) -> (LadderStep, ChaosTally) {
             compare: CompareConfig::default(),
             faults: FaultInjector::disabled(),
             breaker: BreakerConfig::default(),
+            ..PoolConfig::default()
         },
         DnaDatabase::new(),
         Arc::clone(rec) as SharedCollector,

@@ -44,6 +44,18 @@ pub struct ObsRow {
     pub comparator_prefilter_rejects: u64,
     /// Interned-id set merges actually performed.
     pub comparator_set_merges: u64,
+    /// Incremental-extractor queries served.
+    pub extract_queries: u64,
+    /// Extractions answered straight from the shared DNA memo.
+    pub extract_memo_hits: u64,
+    /// Passes whose changed subgraphs were actually enumerated.
+    pub extract_passes_enumerated: u64,
+    /// Passes skipped by the edge-multiset fast path.
+    pub extract_passes_skipped: u64,
+    /// Chains walked through changed subgraphs.
+    pub extract_chains_enumerated: u64,
+    /// Chains skipped because no changed edge touched them.
+    pub extract_chains_skipped: u64,
     /// Operations the workload executed across all tiers.
     pub ops: u64,
 }
@@ -85,6 +97,12 @@ pub fn observe_workloads(workloads: &[Workload], n_vdcs: usize) -> (Vec<ObsRow>,
             comparator_cache_hits: met.counter("comparator.cache_hits"),
             comparator_prefilter_rejects: met.counter("comparator.prefilter_rejects"),
             comparator_set_merges: met.counter("comparator.set_merges"),
+            extract_queries: met.counter("extract.queries"),
+            extract_memo_hits: met.counter("extract.memo_hits"),
+            extract_passes_enumerated: met.counter("extract.passes_enumerated"),
+            extract_passes_skipped: met.counter("extract.passes_skipped"),
+            extract_chains_enumerated: met.counter("extract.chains_enumerated"),
+            extract_chains_skipped: met.counter("extract.chains_skipped"),
             ops: m.ops,
         });
         for (i, s) in rec.slot_stats().iter().enumerate() {
@@ -148,6 +166,31 @@ pub fn comparator_cycles(w: &Workload, n_vdcs: usize) -> (u64, u64) {
     )
 }
 
+/// Per-workload naive-vs-incremental extractor cost: simulated analysis
+/// cycles for the same run under each [`jitbull::ExtractorMode`] (fresh
+/// memo per run, so this measures the first-compile structural-diff win,
+/// not memo hits).
+pub fn extractor_cycles(w: &Workload, n_vdcs: usize) -> (u64, u64) {
+    let (db, vulns) = db_with(n_vdcs);
+    let run = |mode: jitbull::ExtractorMode| {
+        run_workload(
+            w,
+            EngineConfig {
+                vulns: vulns.clone(),
+                extractor: mode,
+                ..Default::default()
+            },
+            Some(db.clone()),
+        )
+        .expect("workload runs")
+        .analysis_cycles
+    };
+    (
+        run(jitbull::ExtractorMode::Reference),
+        run(jitbull::ExtractorMode::Incremental),
+    )
+}
+
 /// Renders the per-workload summary table.
 pub fn render_rows(rows: &[ObsRow]) -> String {
     let table: Vec<Vec<String>> = rows
@@ -165,6 +208,17 @@ pub fn render_rows(rows: &[ObsRow]) -> String {
                 format!("{}/{}", r.comparator_cache_hits, r.comparator_queries),
                 r.comparator_prefilter_rejects.to_string(),
                 r.comparator_set_merges.to_string(),
+                format!("{}/{}", r.extract_memo_hits, r.extract_queries),
+                format!(
+                    "{}/{}",
+                    r.extract_passes_skipped,
+                    r.extract_passes_enumerated + r.extract_passes_skipped
+                ),
+                format!(
+                    "{}/{}",
+                    r.extract_chains_skipped,
+                    r.extract_chains_enumerated + r.extract_chains_skipped
+                ),
                 r.ops.to_string(),
             ]
         })
@@ -182,6 +236,9 @@ pub fn render_rows(rows: &[ObsRow]) -> String {
             "cmp hit/q",
             "prefilt",
             "merges",
+            "memo hit/q",
+            "pass skip",
+            "chain skip",
             "ops",
         ],
         &table,
@@ -238,6 +295,9 @@ mod tests {
             // The indexed comparator (the default) serves every analysis.
             assert_eq!(r.comparator_queries, r.analyses, "{}", r.name);
             assert!(r.comparator_cache_hits <= r.comparator_queries);
+            // The incremental extractor (the default) serves every analysis.
+            assert_eq!(r.extract_queries, r.analyses, "{}", r.name);
+            assert!(r.extract_memo_hits <= r.extract_queries);
             assert!(r.pipeline_cycles > 0 && r.guard_cycles > 0 && r.ops > 0);
         }
         assert!(slots.iter().any(|s| s.cycles > 0));

@@ -22,15 +22,18 @@ pub enum FaultSite {
     ComparatorQuery,
     /// One pool worker about to serve a dequeued request.
     WorkerServe,
+    /// One incremental extractor query (DNA memo consultation).
+    ExtractQuery,
 }
 
 impl FaultSite {
     /// Every site, in index order.
-    pub const ALL: [FaultSite; 4] = [
+    pub const ALL: [FaultSite; 5] = [
         FaultSite::PassRun,
         FaultSite::DbLoad,
         FaultSite::ComparatorQuery,
         FaultSite::WorkerServe,
+        FaultSite::ExtractQuery,
     ];
 
     fn index(self) -> usize {
@@ -39,6 +42,7 @@ impl FaultSite {
             FaultSite::DbLoad => 1,
             FaultSite::ComparatorQuery => 2,
             FaultSite::WorkerServe => 3,
+            FaultSite::ExtractQuery => 4,
         }
     }
 
@@ -50,6 +54,7 @@ impl FaultSite {
             FaultSite::DbLoad => "db_load",
             FaultSite::ComparatorQuery => "comparator_query",
             FaultSite::WorkerServe => "worker_serve",
+            FaultSite::ExtractQuery => "extract_query",
         }
     }
 }
@@ -203,7 +208,7 @@ impl FaultPlan {
 #[derive(Debug)]
 struct Inner {
     plan: FaultPlan,
-    occurrences: [AtomicU64; 4],
+    occurrences: [AtomicU64; FaultSite::ALL.len()],
     injected: [AtomicU64; FaultKind::N_KINDS],
 }
 

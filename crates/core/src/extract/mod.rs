@@ -22,6 +22,9 @@
 //! counts can grow exponentially in pathological DAGs; the caps are far
 //! above what the evaluation workloads produce.
 
+pub mod incremental;
+pub mod memo;
+
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -35,16 +38,16 @@ pub const MAX_CHAINS: usize = 4096;
 pub const MAX_CHAIN_LEN: usize = 48;
 
 /// A dependency graph over one snapshot.
-struct DepGraph {
+pub(crate) struct DepGraph {
     /// node id -> label
-    labels: HashMap<u32, Arc<str>>,
+    pub(crate) labels: HashMap<u32, Arc<str>>,
     /// node id -> dependencies (operands)
-    deps: HashMap<u32, Vec<u32>>,
+    pub(crate) deps: HashMap<u32, Vec<u32>>,
     /// ids that are not a dependency of anyone
-    roots: Vec<u32>,
+    pub(crate) roots: Vec<u32>,
 }
 
-fn build_graph(ir: &MirSnapshot) -> DepGraph {
+pub(crate) fn build_graph(ir: &MirSnapshot) -> DepGraph {
     let mut labels: HashMap<u32, Arc<str>> = HashMap::new();
     let mut deps: HashMap<u32, Vec<u32>> = HashMap::new();
     let mut is_dep: HashSet<u32> = HashSet::new();
@@ -122,7 +125,7 @@ fn dfs(g: &DepGraph, node: u32, path: &mut Vec<u32>, chains: &mut Vec<Chain>, un
 /// even when an identically-labeled edge survives elsewhere in the
 /// function — e.g. one of two `loadelement→boundscheck` accesses losing
 /// its check.
-fn edge_counts(ir: &MirSnapshot) -> HashMap<(Arc<str>, Arc<str>), usize> {
+pub(crate) fn edge_counts(ir: &MirSnapshot) -> HashMap<(Arc<str>, Arc<str>), usize> {
     let mut labels: HashMap<u32, Arc<str>> = HashMap::new();
     for i in &ir.instrs {
         labels.insert(i.id, i.label.clone());
@@ -140,7 +143,7 @@ fn edge_counts(ir: &MirSnapshot) -> HashMap<(Arc<str>, Arc<str>), usize> {
 }
 
 /// Edges whose multiplicity strictly dropped from `from` to `to`.
-fn changed_edges(
+pub(crate) fn changed_edges(
     from: &HashMap<(Arc<str>, Arc<str>), usize>,
     to: &HashMap<(Arc<str>, Arc<str>), usize>,
 ) -> HashSet<(Arc<str>, Arc<str>)> {

@@ -10,6 +10,8 @@ use jitbull_telemetry::{Collector, Event};
 use crate::compare::CompareConfig;
 use crate::db::DnaDatabase;
 use crate::dna::Dna;
+use crate::extract::incremental::{ExtractReceipt, IncrementalExtractor, IncrementalStats};
+use crate::extract::memo::{DnaMemo, MemoKey, MemoStats, MEMO_HIT_COST, MEMO_KEY_COST_PER_INSTR};
 use crate::extract::{extract_dna, trace_work};
 use crate::index::{ComparatorIndex, IndexConfig, IndexStats, QueryReceipt};
 
@@ -23,6 +25,22 @@ pub enum ComparatorMode {
     /// The naive normative loop over [`crate::compare::reference`] —
     /// the oracle the differential harness compares against, and the
     /// baseline the fig6 bench reports speedups over.
+    Reference,
+}
+
+/// Which Δ-extractor implementation a [`Guard`] runs. Orthogonal to
+/// [`ComparatorMode`]: extraction produces the DNA, comparison judges it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExtractorMode {
+    /// The incremental extractor ([`crate::extract::incremental`]) in
+    /// front of the shared DNA memo ([`crate::extract::memo`]) — the
+    /// production path.
+    #[default]
+    Incremental,
+    /// The naive normative [`crate::extract::extract_dna`] — the
+    /// Algorithm 1 oracle the extractor differential harness compares
+    /// against, and the baseline the `fig_extract` bench reports
+    /// speedups over.
     Reference,
 }
 
@@ -61,13 +79,27 @@ pub struct Guard {
     db: DnaDatabase,
     config: CompareConfig,
     mode: ComparatorMode,
+    extractor: ExtractorMode,
     /// Lazily (re)built comparator index over `db`; interior-mutable so
     /// `analyze(&self)` can populate caches. Cloning a guard clones the
     /// index too — valid, because the clone starts from identical
     /// database content at the same generation.
     index: RefCell<ComparatorIndex>,
+    /// Incremental extractor state (interner, run-window cache);
+    /// interior-mutable for the same reason as `index`. Cloning forks
+    /// the caches — both forks stay exact, they just warm separately.
+    incremental: RefCell<IncrementalExtractor>,
+    /// Whole-function DNA memo. Clone-shared: guards built from the same
+    /// [`DnaMemo`] handle (e.g. all pool workers) alias one store.
+    memo: DnaMemo,
+    /// Engine context folded into every memo key (vulnerability-config
+    /// fingerprint): a different engine build compiles the same MIR
+    /// differently, so its DNAs must never collide in the shared memo.
+    extract_context: u64,
     /// Chaos hook: consulted once per indexed query
-    /// ([`jitbull_chaos::FaultSite::ComparatorQuery`]). Disabled by
+    /// ([`jitbull_chaos::FaultSite::ComparatorQuery`]) and once per
+    /// incremental extraction
+    /// ([`jitbull_chaos::FaultSite::ExtractQuery`]). Disabled by
     /// default — a single pointer test on the hot path.
     faults: FaultInjector,
 }
@@ -84,7 +116,11 @@ impl Guard {
             db,
             config,
             mode,
+            extractor: ExtractorMode::default(),
             index: RefCell::new(ComparatorIndex::default()),
+            incremental: RefCell::new(IncrementalExtractor::default()),
+            memo: DnaMemo::default(),
+            extract_context: 0,
             faults: FaultInjector::disabled(),
         }
     }
@@ -107,6 +143,33 @@ impl Guard {
         self.mode = mode;
     }
 
+    /// The extractor implementation in use.
+    pub fn extractor_mode(&self) -> ExtractorMode {
+        self.extractor
+    }
+
+    /// Switches the extractor implementation.
+    pub fn set_extractor_mode(&mut self, mode: ExtractorMode) {
+        self.extractor = mode;
+    }
+
+    /// Replaces the DNA memo handle (the pool installs one shared memo
+    /// into every worker's guard).
+    pub fn set_dna_memo(&mut self, memo: DnaMemo) {
+        self.memo = memo;
+    }
+
+    /// The DNA memo handle (aliases the shared store).
+    pub fn dna_memo(&self) -> &DnaMemo {
+        &self.memo
+    }
+
+    /// Sets the engine-context fingerprint folded into memo keys (the
+    /// engine derives it from its vulnerability configuration).
+    pub fn set_extract_context(&mut self, context: u64) {
+        self.extract_context = context;
+    }
+
     /// Replaces the index tuning knobs (cache bound, shard opt-in).
     pub fn set_index_config(&mut self, config: IndexConfig) {
         self.index.borrow_mut().set_config(config);
@@ -116,6 +179,17 @@ impl Guard {
     /// runs in [`ComparatorMode::Reference`]).
     pub fn comparator_stats(&self) -> IndexStats {
         self.index.borrow().stats()
+    }
+
+    /// Cumulative incremental-extractor counters (all zero while the
+    /// guard runs in [`ExtractorMode::Reference`]).
+    pub fn extractor_stats(&self) -> IncrementalStats {
+        self.incremental.borrow().stats()
+    }
+
+    /// Cumulative DNA-memo counters for the guard's memo handle.
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.stats()
     }
 
     /// Whether JITBULL processing is active. With an empty database the
@@ -151,34 +225,86 @@ impl Guard {
     }
 
     /// Analyses one compilation trace against every VDC entry (step 2 of
-    /// the paper's workflow; Algorithm 2 inside). Dispatches to the
-    /// comparator selected by [`Guard::comparator_mode`]; both paths
-    /// return identical `dangerous` / `matches` / `dna` (only
-    /// `cost_cycles` differs, reflecting the work each actually does).
+    /// the paper's workflow; Algorithm 2 inside). Extraction runs in the
+    /// implementation selected by [`Guard::extractor_mode`]; comparison
+    /// in the one selected by [`Guard::comparator_mode`]. Every
+    /// combination returns identical `dangerous` / `matches` / `dna`
+    /// (only `cost_cycles` differs, reflecting the work each actually
+    /// does).
     pub fn analyze(&self, trace: &PassTrace, n_slots: usize) -> Analysis {
-        self.analyze_with_receipt(trace, n_slots).0
+        self.analyze_with_receipts(trace, n_slots).0
     }
 
-    fn analyze_with_receipt(
+    /// Extraction dispatch: the configured extractor produces the DNA
+    /// and the simulated cycles it cost; the incremental path
+    /// additionally consults the shared memo and returns a receipt.
+    fn extract_with_receipt(
         &self,
         trace: &PassTrace,
         n_slots: usize,
-    ) -> (Analysis, Option<QueryReceipt>) {
-        match self.mode {
-            ComparatorMode::Reference => (self.analyze_reference(trace, n_slots), None),
-            ComparatorMode::Indexed => {
-                let (analysis, receipt) = self.analyze_indexed(trace, n_slots);
-                (analysis, Some(receipt))
+    ) -> (Dna, u64, Option<ExtractReceipt>) {
+        match self.extractor {
+            ExtractorMode::Reference => (
+                extract_dna(trace, n_slots),
+                trace_work(trace) * EXTRACT_COST_PER_INSTR,
+                None,
+            ),
+            ExtractorMode::Incremental => {
+                if let Some(FaultKind::CachePoison) = self.faults.fire(FaultSite::ExtractQuery) {
+                    // The torn write lands before the lookup — the
+                    // memo's purge-before-serve guarantee is the
+                    // recovery path under test.
+                    self.memo.poison();
+                }
+                let key = MemoKey::from_trace(trace, n_slots, self.extract_context);
+                let mut cost = 0u64;
+                if let Some(k) = &key {
+                    cost += k.pre_mir_len() as u64 * MEMO_KEY_COST_PER_INSTR;
+                    if let Some(dna) = self.memo.lookup(k) {
+                        cost += MEMO_HIT_COST;
+                        let receipt = ExtractReceipt {
+                            memo_hit: true,
+                            cost_cycles: cost,
+                            ..ExtractReceipt::default()
+                        };
+                        return (dna, cost, Some(receipt));
+                    }
+                }
+                let (dna, mut receipt) = self.incremental.borrow_mut().extract_dna(trace, n_slots);
+                receipt.cost_cycles += cost;
+                if let Some(k) = key {
+                    self.memo.insert(k, dna.clone());
+                }
+                (dna, receipt.cost_cycles, Some(receipt))
             }
         }
     }
 
-    /// The naive Algorithm 2 loop: full set intersections per (entry,
-    /// slot), costed by sub-chain volume. This is the normative oracle —
-    /// the indexed path must agree with it on every verdict.
-    pub fn analyze_reference(&self, trace: &PassTrace, n_slots: usize) -> Analysis {
-        let dna = extract_dna(trace, n_slots);
-        let mut cost = trace_work(trace) * EXTRACT_COST_PER_INSTR;
+    fn analyze_with_receipts(
+        &self,
+        trace: &PassTrace,
+        n_slots: usize,
+    ) -> (Analysis, Option<ExtractReceipt>, Option<QueryReceipt>) {
+        let (dna, extract_cost, extract_receipt) = self.extract_with_receipt(trace, n_slots);
+        match self.mode {
+            ComparatorMode::Reference => (
+                self.compare_reference(dna, extract_cost),
+                extract_receipt,
+                None,
+            ),
+            ComparatorMode::Indexed => {
+                let (analysis, receipt) = self.compare_indexed(dna, extract_cost);
+                (analysis, extract_receipt, Some(receipt))
+            }
+        }
+    }
+
+    /// The naive Algorithm 2 loop over a pre-extracted DNA: full set
+    /// intersections per (entry, slot), costed by sub-chain volume. This
+    /// is the normative comparator — the indexed path must agree with it
+    /// on every verdict.
+    fn compare_reference(&self, dna: Dna, extract_cost: u64) -> Analysis {
+        let mut cost = extract_cost;
         let mut dangerous: Vec<usize> = Vec::new();
         let mut matches = Vec::new();
         for entry in self.db.entries() {
@@ -212,12 +338,19 @@ impl Guard {
         }
     }
 
+    /// Reference-comparator analysis of one trace (kept as the public
+    /// normative entry point; extraction still follows
+    /// [`Guard::extractor_mode`]).
+    pub fn analyze_reference(&self, trace: &PassTrace, n_slots: usize) -> Analysis {
+        let (dna, extract_cost, _) = self.extract_with_receipt(trace, n_slots);
+        self.compare_reference(dna, extract_cost)
+    }
+
     /// The indexed pipeline: ensure the index matches the database
     /// generation, query it (cache → prefilter → interned merges), and
     /// rebuild the entry-keyed result into the reference shape.
-    fn analyze_indexed(&self, trace: &PassTrace, n_slots: usize) -> (Analysis, QueryReceipt) {
-        let dna = extract_dna(trace, n_slots);
-        let mut cost = trace_work(trace) * EXTRACT_COST_PER_INSTR;
+    fn compare_indexed(&self, dna: Dna, extract_cost: u64) -> (Analysis, QueryReceipt) {
+        let mut cost = extract_cost;
         let mut index = self.index.borrow_mut();
         if let Some(FaultKind::CachePoison) = self.faults.fire(FaultSite::ComparatorQuery) {
             // The torn write lands before `ensure` — recovery is the
@@ -249,9 +382,10 @@ impl Guard {
     }
 
     /// Like [`Guard::analyze`], additionally reporting the analysis as an
-    /// [`Event::GuardAnalyzed`] (preceded, on the indexed path, by an
-    /// [`Event::ComparatorQuery`] describing the cache/prefilter/shard
-    /// work) to `collector`.
+    /// [`Event::GuardAnalyzed`] (preceded, on the incremental path, by an
+    /// [`Event::ExtractorQuery`] describing the memo/fast-path work and,
+    /// on the indexed path, by an [`Event::ComparatorQuery`] describing
+    /// the cache/prefilter/shard work) to `collector`.
     pub fn analyze_observed(
         &self,
         trace: &PassTrace,
@@ -259,11 +393,28 @@ impl Guard {
         collector: &mut dyn Collector,
     ) -> Analysis {
         let purges_before = self.index.borrow().stats().poison_purges;
-        let (analysis, receipt) = self.analyze_with_receipt(trace, n_slots);
+        let memo_purges_before = self.memo.stats().poison_purges;
+        let (analysis, extract_receipt, receipt) = self.analyze_with_receipts(trace, n_slots);
         let stats_after = self.index.borrow().stats();
         if stats_after.poison_purges > purges_before {
             collector.record(Event::CachePoisonPurged {
                 rebuilds: stats_after.rebuilds,
+            });
+        }
+        let memo_stats_after = self.memo.stats();
+        if memo_stats_after.poison_purges > memo_purges_before {
+            collector.record(Event::ExtractMemoPurged {
+                purges: memo_stats_after.poison_purges,
+            });
+        }
+        if let Some(r) = extract_receipt {
+            collector.record(Event::ExtractorQuery {
+                function: trace.function.clone(),
+                memo_hit: r.memo_hit,
+                passes_enumerated: r.passes_enumerated,
+                passes_skipped: r.passes_skipped,
+                chains_enumerated: r.chains_enumerated,
+                chains_skipped: r.chains_skipped,
             });
         }
         if let Some(r) = receipt {
@@ -503,6 +654,104 @@ mod tests {
         // The fault window is over: the next query is clean again.
         assert_eq!(guard.analyze(&trace, 32).dangerous, vec![6]);
         assert_eq!(guard.comparator_stats().poison_purges, 1);
+    }
+
+    #[test]
+    fn extractor_modes_agree_on_everything_but_cost() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", Guard::extract(&trace_removing_check(6), 32));
+        db.install("CVE-B", "g", Guard::extract(&trace_removing_check(11), 32));
+        let mut incremental = Guard::new(db.clone(), cfg);
+        incremental.set_extractor_mode(ExtractorMode::Incremental);
+        let mut reference = Guard::new(db, cfg);
+        reference.set_extractor_mode(ExtractorMode::Reference);
+        for trace in [
+            trace_removing_check(6),
+            trace_removing_check(11),
+            trace_removing_check(3),
+        ] {
+            let a = incremental.analyze(&trace, 32);
+            let b = reference.analyze(&trace, 32);
+            assert_eq!(a.dangerous, b.dangerous);
+            assert_eq!(a.matches, b.matches);
+            assert_eq!(a.dna, b.dna, "extractor modes must emit identical DNA");
+        }
+        assert_eq!(incremental.memo_stats().lookups, 3);
+        assert_eq!(
+            reference.memo_stats().lookups,
+            0,
+            "the reference extractor must bypass the memo entirely"
+        );
+    }
+
+    #[test]
+    fn memo_hits_on_repeat_analysis_and_costs_less() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", Guard::extract(&trace_removing_check(6), 32));
+        let guard = Guard::new(db, cfg);
+        let trace = trace_removing_check(6);
+        let cold = guard.analyze(&trace, 32);
+        let warm = guard.analyze(&trace, 32);
+        assert_eq!(cold.dangerous, warm.dangerous);
+        assert_eq!(cold.dna, warm.dna);
+        let stats = guard.memo_stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.hits, 1);
+        assert!(
+            warm.cost_cycles < cold.cost_cycles,
+            "memo hit ({}) must be cheaper than the cold extraction ({})",
+            warm.cost_cycles,
+            cold.cost_cycles
+        );
+    }
+
+    #[test]
+    fn extract_context_change_invalidates_the_memo() {
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut guard = Guard::new(DnaDatabase::new(), cfg);
+        let trace = trace_removing_check(6);
+        guard.analyze(&trace, 32);
+        guard.analyze(&trace, 32);
+        assert_eq!(guard.memo_stats().hits, 1);
+        // A new vulnerability context keys a different memo entry: the
+        // same trace must be re-extracted, never served stale.
+        guard.set_extract_context(0xdead_beef);
+        guard.analyze(&trace, 32);
+        assert_eq!(guard.memo_stats().hits, 1);
+        assert_eq!(guard.memo_stats().lookups, 3);
+    }
+
+    #[test]
+    fn extract_memo_poison_is_purged_and_reported() {
+        use jitbull_chaos::{FaultPlan, FaultSite as Site};
+        let cfg = CompareConfig { thr: 1, ratio: 0.5 };
+        let mut db = DnaDatabase::new();
+        db.install("CVE-A", "f", Guard::extract(&trace_removing_check(6), 32));
+        let mut guard = Guard::new(db, cfg);
+        let trace = trace_removing_check(6);
+        // Warm the memo.
+        assert_eq!(guard.analyze(&trace, 32).dangerous, vec![6]);
+        // Poison the memo on the next extraction query.
+        guard.set_fault_injector(FaultInjector::from_plan(FaultPlan::new(5).script(
+            Site::ExtractQuery,
+            FaultKind::CachePoison,
+            0,
+            1,
+        )));
+        let mut rec = jitbull_telemetry::Recorder::new();
+        let analysis = guard.analyze_observed(&trace, 32, &mut rec);
+        assert_eq!(
+            analysis.dangerous,
+            vec![6],
+            "a poisoned memo must cost a re-extraction, never a wrong verdict"
+        );
+        assert_eq!(guard.memo_stats().poison_purges, 1);
+        assert_eq!(rec.metrics().counter("recovery.extract_memo_purged"), 1);
+        // The fault window is over: the next analysis re-warms cleanly.
+        assert_eq!(guard.analyze(&trace, 32).dangerous, vec![6]);
+        assert_eq!(guard.memo_stats().poison_purges, 1);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!
 //! * [`extract`] — the **Δ extractor** (§IV-D, Algorithm 1): dependency
 //!   graph → root-to-leaf chains → removed/added sub-chains per pass.
+//!   [`extract::incremental`] is the fast structural-diff implementation
+//!   and [`extract::memo`] the shared DNA memo cache in front of it; the
+//!   top-level functions remain the normative oracle.
 //! * [`dna`] — `Δ_i` / DNA vector types and their textual serialisation
 //!   (the update format a maintainer would ship to users).
 //! * [`compare`] — the **Δ comparator** (§IV-E, Algorithm 2) with the
@@ -53,7 +56,9 @@ pub use compare::{compare_chains, CompareConfig};
 pub use db::{DnaDatabase, LoadMode, LoadReport, VdcEntry};
 pub use dna::{Chain, Dna, PassDelta};
 pub use error::DbError;
+pub use extract::incremental::{ExtractReceipt, IncrementalExtractor, IncrementalStats};
+pub use extract::memo::{DnaMemo, MemoKey, MemoStats};
 pub use extract::{extract_delta, extract_dna};
-pub use guard::{Analysis, ComparatorMode, DbMut, Guard};
+pub use guard::{Analysis, ComparatorMode, DbMut, ExtractorMode, Guard};
 pub use index::{ChainInterner, ComparatorIndex, IndexConfig, IndexStats, QueryReceipt};
 pub use policy::{decide, decide_observed, Decision};

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 
-use jitbull::{decide, decide_observed, ComparatorMode, Decision, Guard};
+use jitbull::{decide, decide_observed, ComparatorMode, Decision, DnaMemo, ExtractorMode, Guard};
 use jitbull_chaos::{FaultInjector, Quarantine};
 use jitbull_frontend::parse_program;
 use jitbull_mir::build_mir;
@@ -85,6 +85,13 @@ pub struct EngineConfig {
     /// Which Δ-comparator implementation the guard uses (indexed by
     /// default; `Reference` runs the naive normative Algorithm 2 loop).
     pub comparator: ComparatorMode,
+    /// Which Δ-extractor implementation the guard uses (incremental by
+    /// default; `Reference` runs the naive normative Algorithm 1 walk).
+    pub extractor: ExtractorMode,
+    /// DNA memo cache handed to the guard. Cloning the config clones the
+    /// handle, not the store, so a pool can share one memo across every
+    /// worker's engine.
+    pub memo: DnaMemo,
     /// Chaos fault injector, threaded into the pipeline and the guard.
     /// Disabled by default (zero overhead, zero cycle-model impact).
     pub faults: FaultInjector,
@@ -112,6 +119,8 @@ impl Default for EngineConfig {
             disabled_slots: std::collections::HashSet::new(),
             backend: Backend::default(),
             comparator: ComparatorMode::default(),
+            extractor: ExtractorMode::default(),
+            memo: DnaMemo::default(),
             faults: FaultInjector::disabled(),
             watchdog_budget: None,
             quarantine: Quarantine::default(),
@@ -212,9 +221,15 @@ impl Engine {
 
     /// Creates an engine protected by a JITBULL guard. The guard is
     /// switched to the comparator selected by
-    /// [`EngineConfig::comparator`], so the config knob is authoritative.
+    /// [`EngineConfig::comparator`] and the extractor selected by
+    /// [`EngineConfig::extractor`] (keyed by the vulnerability-set
+    /// fingerprint, backed by [`EngineConfig::memo`]), so the config
+    /// knobs are authoritative.
     pub fn with_guard(config: EngineConfig, mut guard: Guard) -> Self {
         guard.set_comparator_mode(config.comparator);
+        guard.set_extractor_mode(config.extractor);
+        guard.set_dna_memo(config.memo.clone());
+        guard.set_extract_context(config.vulns.fingerprint());
         guard.set_fault_injector(config.faults.clone());
         Engine {
             config,

@@ -166,6 +166,25 @@ impl VulnConfig {
     pub fn enabled(&self) -> impl Iterator<Item = CveId> + '_ {
         self.enabled.iter().copied()
     }
+
+    /// A stable fingerprint of the enabled set (FNV-1a over the canonical
+    /// CVE names, in `BTreeSet` order). Two configs fingerprint equal iff
+    /// they enable the same CVEs; the guard keys its DNA memo on this so
+    /// changing the engine's vulnerability surface can never serve a
+    /// stale extraction.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for cve in &self.enabled {
+            for b in cve.name().as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            // Frame each name so concatenations can't collide.
+            h ^= 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 /// Applies every enabled vulnerability whose pass lives in `slot_index`,
@@ -610,5 +629,26 @@ mod tests {
         assert_eq!(checks(&f), 0);
         let mut g = mir("function f(a, i) { return a[i]; }", "f");
         assert!(!cve_26952(&mut g));
+    }
+
+    #[test]
+    fn fingerprint_separates_distinct_vuln_sets() {
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(VulnConfig::none().fingerprint()));
+        assert!(seen.insert(VulnConfig::all().fingerprint()));
+        for cve in CveId::all() {
+            assert!(
+                seen.insert(VulnConfig::with([cve]).fingerprint()),
+                "{cve} collides with a previous set"
+            );
+        }
+        // Order of enablement is irrelevant: the set is canonical.
+        let mut a = VulnConfig::none();
+        a.enable(CveId::Cve2019_9810);
+        a.enable(CveId::Cve2019_17026);
+        let mut b = VulnConfig::none();
+        b.enable(CveId::Cve2019_17026);
+        b.enable(CveId::Cve2019_9810);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

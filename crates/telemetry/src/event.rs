@@ -93,6 +93,23 @@ pub enum Event {
         /// Scan shards used (1 = sequential).
         shards: u64,
     },
+    /// The incremental extractor served one guard extraction (emitted
+    /// before the matching [`Event::GuardAnalyzed`]; absent on the
+    /// reference path).
+    ExtractorQuery {
+        /// Function whose trace was extracted.
+        function: String,
+        /// Whether the DNA came straight from the shared memo cache.
+        memo_hit: bool,
+        /// Passes whose changed subgraphs were actually enumerated.
+        passes_enumerated: u64,
+        /// Passes skipped by the edge-multiset fast path.
+        passes_skipped: u64,
+        /// Chains walked through changed subgraphs.
+        chains_enumerated: u64,
+        /// Chains skipped because no changed edge touched them.
+        chains_skipped: u64,
+    },
     /// The JITBULL guard analyzed one compilation trace.
     GuardAnalyzed {
         /// Function whose trace was analyzed.
@@ -241,6 +258,12 @@ pub enum Event {
         /// Index rebuilds performed so far, purges included.
         rebuilds: u64,
     },
+    /// The extractor detected a poisoned DNA memo (torn write) and
+    /// discarded every cached entry before serving anything.
+    ExtractMemoPurged {
+        /// Memo poison purges performed so far.
+        purges: u64,
+    },
     /// One iteration of the fuzzer's install-until-neutralized triage loop.
     TriageRound {
         /// The find's seed.
@@ -263,6 +286,7 @@ impl Event {
             Event::TierPromoted { .. } => "tier_promoted",
             Event::PassApplied { .. } => "pass_applied",
             Event::ComparatorQuery { .. } => "comparator_query",
+            Event::ExtractorQuery { .. } => "extractor_query",
             Event::GuardAnalyzed { .. } => "guard_analyzed",
             Event::PolicyDecision { .. } => "policy_decision",
             Event::ExploitOutcome { .. } => "exploit_outcome",
@@ -282,6 +306,7 @@ impl Event {
             Event::ReloadRetry { .. } => "reload_retry",
             Event::ReloadRecovered { .. } => "reload_recovered",
             Event::CachePoisonPurged { .. } => "cache_poison_purged",
+            Event::ExtractMemoPurged { .. } => "extract_memo_purged",
             Event::TriageRound { .. } => "triage_round",
         }
     }

@@ -108,6 +108,16 @@ fn event_line(ev: &Event) -> String {
         } => format!(
             "comparator_query fn={function} cache_hit={cache_hit} prefilter_rejects={prefilter_rejects} merges={set_merges} shards={shards}"
         ),
+        Event::ExtractorQuery {
+            function,
+            memo_hit,
+            passes_enumerated,
+            passes_skipped,
+            chains_enumerated,
+            chains_skipped,
+        } => format!(
+            "extractor_query  fn={function} memo_hit={memo_hit} passes={passes_enumerated}/{passes_skipped} chains={chains_enumerated}/{chains_skipped}"
+        ),
         Event::GuardAnalyzed {
             function,
             matches,
@@ -186,6 +196,9 @@ fn event_line(ev: &Event) -> String {
         Event::CachePoisonPurged { rebuilds } => {
             format!("cache_poison_purged rebuilds={rebuilds}")
         }
+        Event::ExtractMemoPurged { purges } => {
+            format!("extract_memo_purged purges={purges}")
+        }
         Event::TriageRound {
             seed,
             round,
@@ -252,6 +265,21 @@ fn push_event_json(out: &mut String, ev: &Event) {
             let _ = write!(
                 out,
                 ",\"cache_hit\":{cache_hit},\"prefilter_rejects\":{prefilter_rejects},\"set_merges\":{set_merges},\"shards\":{shards}"
+            );
+        }
+        Event::ExtractorQuery {
+            function,
+            memo_hit,
+            passes_enumerated,
+            passes_skipped,
+            chains_enumerated,
+            chains_skipped,
+        } => {
+            out.push_str(",\"function\":");
+            push_json_str(out, function);
+            let _ = write!(
+                out,
+                ",\"memo_hit\":{memo_hit},\"passes_enumerated\":{passes_enumerated},\"passes_skipped\":{passes_skipped},\"chains_enumerated\":{chains_enumerated},\"chains_skipped\":{chains_skipped}"
             );
         }
         Event::GuardAnalyzed {
@@ -388,6 +416,9 @@ fn push_event_json(out: &mut String, ev: &Event) {
         }
         Event::CachePoisonPurged { rebuilds } => {
             let _ = write!(out, ",\"rebuilds\":{rebuilds}");
+        }
+        Event::ExtractMemoPurged { purges } => {
+            let _ = write!(out, ",\"purges\":{purges}");
         }
         Event::TriageRound {
             seed,

@@ -196,6 +196,29 @@ impl Recorder {
                 }
                 self.metrics.counter_add("comparator.shards", *shards);
             }
+            Event::ExtractorQuery {
+                memo_hit,
+                passes_enumerated,
+                passes_skipped,
+                chains_enumerated,
+                chains_skipped,
+                ..
+            } => {
+                self.metrics.counter_inc("extract.queries");
+                self.metrics.counter_inc(if *memo_hit {
+                    "extract.memo_hits"
+                } else {
+                    "extract.memo_misses"
+                });
+                self.metrics
+                    .counter_add("extract.passes_enumerated", *passes_enumerated);
+                self.metrics
+                    .counter_add("extract.passes_skipped", *passes_skipped);
+                self.metrics
+                    .counter_add("extract.chains_enumerated", *chains_enumerated);
+                self.metrics
+                    .counter_add("extract.chains_skipped", *chains_skipped);
+            }
             Event::GuardAnalyzed {
                 matches,
                 dangerous,
@@ -312,6 +335,9 @@ impl Recorder {
             Event::CachePoisonPurged { .. } => {
                 self.metrics.counter_inc("recovery.cache_poison_purged");
             }
+            Event::ExtractMemoPurged { .. } => {
+                self.metrics.counter_inc("recovery.extract_memo_purged");
+            }
             Event::TriageRound { neutralized, .. } => {
                 self.metrics.counter_inc("triage.rounds");
                 if *neutralized {
@@ -375,6 +401,37 @@ mod tests {
         assert_eq!(slot.cycles, 50);
         assert_eq!(slot.instrs_removed, 4);
         assert_eq!(rec.events().len(), 5);
+    }
+
+    #[test]
+    fn extractor_events_aggregate_into_extract_metrics() {
+        let mut rec = Recorder::new();
+        rec.record(Event::ExtractorQuery {
+            function: "f".into(),
+            memo_hit: false,
+            passes_enumerated: 2,
+            passes_skipped: 9,
+            chains_enumerated: 5,
+            chains_skipped: 7,
+        });
+        rec.record(Event::ExtractorQuery {
+            function: "f".into(),
+            memo_hit: true,
+            passes_enumerated: 0,
+            passes_skipped: 0,
+            chains_enumerated: 0,
+            chains_skipped: 0,
+        });
+        rec.record(Event::ExtractMemoPurged { purges: 1 });
+        let m = rec.metrics();
+        assert_eq!(m.counter("extract.queries"), 2);
+        assert_eq!(m.counter("extract.memo_hits"), 1);
+        assert_eq!(m.counter("extract.memo_misses"), 1);
+        assert_eq!(m.counter("extract.passes_enumerated"), 2);
+        assert_eq!(m.counter("extract.passes_skipped"), 9);
+        assert_eq!(m.counter("extract.chains_enumerated"), 5);
+        assert_eq!(m.counter("extract.chains_skipped"), 7);
+        assert_eq!(m.counter("recovery.extract_memo_purged"), 1);
     }
 
     #[test]

@@ -196,7 +196,10 @@ fn load_failures_are_typed() {
     assert_eq!(err.kind(), "parse");
     match err {
         DbError::Parse { line, ref msg } => {
-            assert_eq!(line, 2, "entry-body errors are rebased to absolute file lines");
+            assert_eq!(
+                line, 2,
+                "entry-body errors are rebased to absolute file lines"
+            );
             assert!(msg.contains("bad sign"), "{msg}");
         }
         DbError::Io(_) => panic!("expected a parse error"),

@@ -106,6 +106,33 @@ fn every_ticket_resolves_when_pool_drops_with_queued_work() {
 }
 
 #[test]
+fn workers_share_one_dna_memo_across_requests_and_hotswaps() {
+    use jitbull::DnaMemo;
+    let memo = DnaMemo::default();
+    let cfg = PoolConfig {
+        memo: memo.clone(),
+        ..config(2, 32)
+    };
+    let pool = Pool::new(cfg, donor());
+    // Same script, compiled repeatedly: after the first extraction the
+    // shared memo must serve every worker, whichever one dequeues.
+    for _ in 0..6 {
+        let r = pool.submit(serve_array()).unwrap().wait().unwrap();
+        assert!(!r.printed.is_empty());
+    }
+    let warm = memo.stats();
+    assert!(warm.lookups >= 6, "every Ion compile consults the memo");
+    assert!(warm.hits >= 4, "repeat compiles hit the shared store");
+    // A hot swap changes the database, not the extraction: the memo
+    // keeps its entries and keeps hitting.
+    install_round(&pool, 0);
+    let r = pool.submit(serve_array()).unwrap().wait().unwrap();
+    assert!(!r.printed.is_empty());
+    assert!(memo.stats().hits > warm.hits, "memo survives the hot swap");
+    pool.shutdown();
+}
+
+#[test]
 fn overload_rejects_immediately_with_depth() {
     let pool = Pool::new(config(1, 2), DnaDatabase::new());
     let slow = pool.submit(heavy()).expect("first request fits");
